@@ -1,0 +1,117 @@
+// Shared plumbing for the reproduction benches: the paper's validation
+// settings, replication helpers, and model-parameter estimation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/background.hpp"
+#include "model/composed_chain.hpp"
+#include "stream/session.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/stats.hpp"
+
+namespace dmp::bench {
+
+struct Knobs {
+  std::int64_t runs = env_int("DMP_RUNS", 8);
+  double duration_s = env_double("DMP_DURATION_S", 3000.0);
+  std::uint64_t seed = static_cast<std::uint64_t>(env_int("DMP_SEED", 2007));
+  std::uint64_t mc_min =
+      static_cast<std::uint64_t>(env_int("DMP_MC_MIN", 400'000));
+  std::uint64_t mc_max =
+      static_cast<std::uint64_t>(env_int("DMP_MC_MAX", 6'400'000));
+};
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// The paper's validation settings: Table-1 configuration pair + playback
+// rate (Table 2 for independent paths, Table 3 for correlated paths).
+struct ValidationSetting {
+  std::string name;
+  int config_a;
+  int config_b;    // == config_a for homogeneous / correlated settings
+  double mu_pps;
+  bool correlated; // share one bottleneck (Fig. 6) vs. two paths (Fig. 3)
+};
+
+inline std::vector<ValidationSetting> independent_settings() {
+  return {
+      {"1-1", 1, 1, 50.0, false}, {"2-2", 2, 2, 50.0, false},
+      {"3-3", 3, 3, 30.0, false}, {"4-4", 4, 4, 80.0, false},
+      {"1-2", 1, 2, 50.0, false}, {"1-3", 1, 3, 40.0, false},
+      {"2-3", 2, 3, 40.0, false}, {"3-4", 3, 4, 60.0, false},
+  };
+}
+
+inline std::vector<ValidationSetting> correlated_settings() {
+  return {
+      {"1", 1, 1, 50.0, true},
+      {"2", 2, 2, 50.0, true},
+      {"3", 3, 3, 30.0, true},
+      {"4", 4, 4, 80.0, true},
+  };
+}
+
+inline SessionConfig session_for(const ValidationSetting& setting,
+                                 double duration_s, std::uint64_t seed) {
+  SessionConfig config;
+  if (setting.correlated) {
+    config.path_configs = {table1_config(setting.config_a)};
+    config.correlated = true;
+  } else {
+    config.path_configs = {table1_config(setting.config_a),
+                           table1_config(setting.config_b)};
+  }
+  config.num_flows = 2;
+  config.mu_pps = setting.mu_pps;
+  config.duration_s = duration_s;
+  config.seed = seed;
+  return config;
+}
+
+// Model parameters for a validation setting, estimated with backlogged
+// probes (Section 2.2's sigma_k definition; see stream/session.hpp for why
+// video-stream-measured p would bias the model under drop-tail).
+inline ComposedParams model_params_for(const ValidationSetting& setting,
+                                       std::uint64_t seed,
+                                       double probe_duration_s = 1500.0) {
+  ComposedParams params;
+  params.mu_pps = setting.mu_pps;
+  auto to_chain = [](const BackloggedProbe& probe) {
+    TcpChainParams chain;
+    chain.loss_rate = probe.loss_rate;
+    chain.rtt_s = probe.rtt_s;
+    chain.to_ratio = probe.to_ratio;
+    chain.wmax = 20;
+    chain.ack_every = 1;
+    return chain;
+  };
+  if (setting.correlated) {
+    const auto probes = measure_backlogged_paths(
+        table1_config(setting.config_a), 2, seed, probe_duration_s);
+    params.flows = {to_chain(probes[0]), to_chain(probes[1])};
+  } else {
+    const auto probe_a = measure_backlogged_paths(
+        table1_config(setting.config_a), 1, seed, probe_duration_s);
+    const auto probe_b = measure_backlogged_paths(
+        table1_config(setting.config_b), 1, seed + 1, probe_duration_s);
+    params.flows = {to_chain(probe_a[0]), to_chain(probe_b[0])};
+  }
+  return params;
+}
+
+// mean +/- 95% half-width over replications, formatted.
+inline std::string fmt_ci(const std::vector<double>& samples) {
+  const auto ci = confidence_interval(samples);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g +/- %.2g", ci.mean, ci.half_width);
+  return buf;
+}
+
+}  // namespace dmp::bench

@@ -1,0 +1,68 @@
+// Extension (the paper's "performance study under larger number of paths
+// is left as future work"): K = 1..4 homogeneous paths at the SAME
+// aggregate achievable throughput.  More paths at equal aggregate capacity
+// means more diversity (independent loss processes) but a smaller, more
+// fragile share per path — this quantifies the trade-off.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "param_space.hpp"
+
+using namespace dmp;
+
+int main() {
+  const bench::Knobs knobs;
+  const double p = 0.02, to = 4.0, mu = 25.0;
+  bench::banner("Extension: number of paths K at equal aggregate throughput "
+                "(p=0.02, TO=4, mu=25)");
+
+  CsvWriter csv(bench_output_dir() + "/ext_kpaths.csv",
+                {"k", "ratio", "rtt_ms", "tau_s", "late_fraction",
+                 "required_tau_s"});
+
+  RequiredDelayOptions options;
+  options.min_consumptions = knobs.mc_min;
+  options.max_consumptions = knobs.mc_max;
+  options.tau_max_s = 90.0;
+  options.seed = knobs.seed;
+
+  for (double ratio : {1.4, 1.6}) {
+    std::printf("\nsigma_a/mu = %.1f\n", ratio);
+    std::printf("%4s %10s %12s %12s %12s %14s\n", "K", "RTT(ms)", "f(tau=4)",
+                "f(tau=10)", "f(tau=20)", "required tau");
+    for (int k = 1; k <= 4; ++k) {
+      // Per-path sigma = ratio*mu/K -> per-path RTT scales with K.
+      const double rtt =
+          bench::unit_rtt_throughput(p, to) * k / (ratio * mu);
+      ComposedParams params;
+      for (int i = 0; i < k; ++i) {
+        params.flows.push_back(bench::chain_of(p, rtt, to));
+      }
+      params.mu_pps = mu;
+
+      std::vector<double> f_at;
+      for (double tau : {4.0, 10.0, 20.0}) {
+        params.tau_s = tau;
+        DmpModelMonteCarlo mc(params, knobs.seed + static_cast<std::uint64_t>(k));
+        f_at.push_back(mc.run(knobs.mc_max, knobs.mc_max / 10).late_fraction);
+      }
+      const auto required = required_startup_delay(params, options);
+      std::printf("%4d %10.0f %12.4g %12.4g %12.4g %11.0f s%s\n", k,
+                  rtt * 1e3, f_at[0], f_at[1], f_at[2], required.tau_s,
+                  required.feasible ? "" : "+");
+      for (std::size_t i = 0; i < 3; ++i) {
+        const double taus[] = {4.0, 10.0, 20.0};
+        csv.row({std::to_string(k), CsvWriter::num(ratio),
+                 CsvWriter::num(rtt * 1e3), CsvWriter::num(taus[i]),
+                 CsvWriter::num(f_at[i]), CsvWriter::num(required.tau_s)});
+      }
+    }
+  }
+  std::printf("\nreading: K = 1 is single-path streaming (the paper's ratio-2"
+              " rule).  At fixed tau the late fraction falls monotonically "
+              "with K (diversity); the required delay stays roughly flat "
+              "because each path's dynamics slow in proportion.\n");
+  std::printf("CSV: %s/ext_kpaths.csv\n", bench_output_dir().c_str());
+  return 0;
+}

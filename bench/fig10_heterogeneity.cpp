@@ -1,0 +1,85 @@
+// Fig. 10: impact of path heterogeneity — required startup delay under
+// homogeneous paths vs. heterogeneous pairs with the same aggregate
+// achievable throughput.  TO = 4; gamma in {1.5, 2.0};
+//   Case 1 (RTT):  p_o in {0.01, 0.04}, R_o = 150 ms;
+//   Case 2 (loss): R_o in {100, 300} ms, p_o = 0.02;
+// sigma_a/mu in {1.4, 1.6, 1.8}  ->  (4 + 4) x 3 = 24 heterogeneous points.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/heterogeneity.hpp"
+#include "param_space.hpp"
+
+using namespace dmp;
+
+int main() {
+  const bench::Knobs knobs;
+  const double to = 4.0;
+  bench::banner("Fig. 10: required startup delay, homogeneous vs "
+                "heterogeneous paths (TO=4)");
+
+  RequiredDelayOptions options;
+  options.min_consumptions = knobs.mc_min;
+  options.max_consumptions = knobs.mc_max;
+  options.tau_max_s = 90.0;
+  options.seed = knobs.seed;
+
+  CsvWriter csv(bench_output_dir() + "/fig10_heterogeneity.csv",
+                {"case", "gamma", "p_o", "rtt_o_ms", "ratio", "tau_homo_s",
+                 "tau_hetero_s"});
+
+  struct Base {
+    HeterogeneityCase kind;
+    double p_o;
+    double rtt_o_s;
+    const char* label;
+  };
+  const std::vector<Base> bases{
+      {HeterogeneityCase::kRtt, 0.01, 0.150, "case1 p=0.01 R=150ms"},
+      {HeterogeneityCase::kRtt, 0.04, 0.150, "case1 p=0.04 R=150ms"},
+      {HeterogeneityCase::kLoss, 0.02, 0.100, "case2 p=0.02 R=100ms"},
+      {HeterogeneityCase::kLoss, 0.02, 0.300, "case2 p=0.02 R=300ms"},
+  };
+
+  std::printf("%-24s %6s %6s %10s %12s %6s\n", "base", "gamma", "ratio",
+              "tau homo", "tau hetero", "|d|");
+  double max_abs_diff = 0.0;
+  for (const auto& base : bases) {
+    const auto homo_flow = bench::chain_of(base.p_o, base.rtt_o_s, to);
+    for (double gamma : {1.5, 2.0}) {
+      const auto pair = heterogeneous_pair(homo_flow, base.kind, gamma);
+      for (double ratio : {1.4, 1.6, 1.8}) {
+        const double mu =
+            bench::mu_for_ratio(base.p_o, base.rtt_o_s, to, ratio);
+
+        ComposedParams homo;
+        homo.flows = {homo_flow, homo_flow};
+        homo.mu_pps = mu;
+        const auto tau_homo = required_startup_delay(homo, options);
+
+        ComposedParams hetero;
+        hetero.flows = {pair.flows[0], pair.flows[1]};
+        hetero.mu_pps = mu;
+        const auto tau_hetero = required_startup_delay(hetero, options);
+
+        const double diff = tau_hetero.tau_s - tau_homo.tau_s;
+        max_abs_diff = std::max(max_abs_diff, std::abs(diff));
+        std::printf("%-24s %6.1f %6.1f %8.0f s %10.0f s %6.0f\n", base.label,
+                    gamma, ratio, tau_homo.tau_s, tau_hetero.tau_s,
+                    std::abs(diff));
+        csv.row({base.kind == HeterogeneityCase::kRtt ? "1" : "2",
+                 CsvWriter::num(gamma), CsvWriter::num(base.p_o),
+                 CsvWriter::num(base.rtt_o_s * 1e3), CsvWriter::num(ratio),
+                 CsvWriter::num(tau_homo.tau_s),
+                 CsvWriter::num(tau_hetero.tau_s)});
+      }
+    }
+  }
+  std::printf("\nmax |tau_hetero - tau_homo| = %.0f s; expected (paper): "
+              "points hug the diagonal — DMP is insensitive to path "
+              "heterogeneity\n",
+              max_abs_diff);
+  std::printf("CSV: %s/fig10_heterogeneity.csv\n", bench_output_dir().c_str());
+  return 0;
+}

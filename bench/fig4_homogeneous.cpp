@@ -1,0 +1,8 @@
+// Fig. 4: validation for independent homogeneous paths (Setting 2-2).
+#include "fig_validation.hpp"
+
+int main() {
+  dmp::bench::run_validation_figure(
+      dmp::bench::ValidationSetting{"2-2", 2, 2, 50.0, false}, "fig4");
+  return 0;
+}

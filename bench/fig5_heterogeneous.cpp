@@ -1,0 +1,8 @@
+// Fig. 5: validation for independent heterogeneous paths (Setting 1-2).
+#include "fig_validation.hpp"
+
+int main() {
+  dmp::bench::run_validation_figure(
+      dmp::bench::ValidationSetting{"1-2", 1, 2, 50.0, false}, "fig5");
+  return 0;
+}

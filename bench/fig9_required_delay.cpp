@@ -1,0 +1,80 @@
+// Fig. 9: required startup delay so that the late fraction stays below
+// 1e-4, homogeneous paths, TO = 4, sigma_a/mu = 1.6.
+//   (a) ratio set by varying the RTT; mu in {25, 50, 100} pkts/s and
+//       p in {0.004, 0.02, 0.04} (settings whose implied RTT exceeds
+//       600 ms are omitted, as in the paper);
+//   (b) ratio set by varying mu; R in {100, 200, 300} ms.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "param_space.hpp"
+
+using namespace dmp;
+
+namespace {
+
+RequiredDelayOptions options_from(const bench::Knobs& knobs) {
+  RequiredDelayOptions options;
+  options.min_consumptions = knobs.mc_min;
+  options.max_consumptions = knobs.mc_max;
+  options.tau_max_s = 60.0;
+  options.seed = knobs.seed;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Knobs knobs;
+  const double to = 4.0, ratio = 1.6;
+  bench::banner("Fig. 9: required startup delay for f < 1e-4 "
+                "(TO=4, sigma_a/mu=1.6)");
+
+  CsvWriter csv(bench_output_dir() + "/fig9_required_delay.csv",
+                {"panel", "loss_rate", "mu_pps", "rtt_ms", "required_tau_s",
+                 "feasible"});
+
+  std::printf("\n(a) ratio fixed by varying RTT\n");
+  std::printf("%8s %6s %10s %14s\n", "p", "mu", "RTT(ms)", "required tau");
+  for (double mu : {25.0, 50.0, 100.0}) {
+    for (double p : {0.004, 0.02, 0.04}) {
+      const double rtt = bench::rtt_for_ratio(p, to, mu, ratio);
+      if (rtt > 0.6) {
+        std::printf("%8.3f %6.0f %10.0f %14s\n", p, mu, rtt * 1e3,
+                    "(omitted: RTT > 600 ms)");
+        continue;
+      }
+      ComposedParams params = bench::homogeneous_setup(p, rtt, to, mu);
+      const auto result = required_startup_delay(params, options_from(knobs));
+      std::printf("%8.3f %6.0f %10.0f %11.0f s%s\n", p, mu, rtt * 1e3,
+                  result.tau_s, result.feasible ? "" : "  (not reached)");
+      csv.row({"a", CsvWriter::num(p), CsvWriter::num(mu),
+               CsvWriter::num(rtt * 1e3), CsvWriter::num(result.tau_s),
+               result.feasible ? "1" : "0"});
+    }
+  }
+
+  std::printf("\n(b) ratio fixed by varying mu\n");
+  std::printf("%8s %10s %8s %14s\n", "p", "RTT(ms)", "mu", "required tau");
+  for (double rtt_ms : {100.0, 200.0, 300.0}) {
+    for (double p : {0.004, 0.02, 0.04}) {
+      const double mu = bench::mu_for_ratio(p, rtt_ms / 1e3, to, ratio);
+      ComposedParams params =
+          bench::homogeneous_setup(p, rtt_ms / 1e3, to, mu);
+      auto options = options_from(knobs);
+      options.tau_max_s = 120.0;  // high-loss large-RTT settings need more
+      const auto result = required_startup_delay(params, options);
+      std::printf("%8.3f %10.0f %8.1f %11.0f s%s\n", p, rtt_ms, mu,
+                  result.tau_s, result.feasible ? "" : "  (not reached)");
+      csv.row({"b", CsvWriter::num(p), CsvWriter::num(mu),
+               CsvWriter::num(rtt_ms), CsvWriter::num(result.tau_s),
+               result.feasible ? "1" : "0"});
+    }
+  }
+
+  std::printf("\nexpected shape (paper): required tau ~ 10 s across panel "
+              "(a) and most of (b); larger for R=300ms with p=0.04\n");
+  std::printf("CSV: %s/fig9_required_delay.csv\n", bench_output_dir().c_str());
+  return 0;
+}

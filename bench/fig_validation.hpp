@@ -1,0 +1,106 @@
+// Shared driver for the Fig. 4 / Fig. 5 validation figures:
+//   (a) out-of-order effect — scatter of the late fraction in arrival
+//       order vs. playback order, tau in {4,6,8,10} s, one point per run;
+//   (b) fraction of late packets vs. startup delay — simulation (mean and
+//       95% CI over runs) against the analytical model.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/composed_chain.hpp"
+
+namespace dmp::bench {
+
+inline void run_validation_figure(const ValidationSetting& setting,
+                                  const std::string& figure_name) {
+  const Knobs knobs;
+  banner(figure_name + " — Setting " + setting.name +
+         (setting.correlated ? " (correlated paths)" : " (independent paths)"));
+  std::printf("(%lld runs x %.0f s, mu = %.0f pkts/s)\n",
+              static_cast<long long>(knobs.runs), knobs.duration_s,
+              setting.mu_pps);
+
+  const std::vector<double> scatter_taus{4.0, 6.0, 8.0, 10.0};
+  const std::vector<double> curve_taus{3, 4, 5, 6, 7, 8, 9, 10, 11};
+
+  CsvWriter scatter_csv(
+      bench_output_dir() + "/" + figure_name + "a_out_of_order.csv",
+      {"setting", "run", "tau_s", "late_playback_order", "late_arrival_order"});
+  CsvWriter curve_csv(
+      bench_output_dir() + "/" + figure_name + "b_late_vs_tau.csv",
+      {"setting", "tau_s", "sim_mean", "sim_ci_half", "model"});
+
+  // --- simulation replications (one trace serves every tau) ---
+  std::vector<std::vector<double>> sim_f(curve_taus.size());
+  std::printf("\n(a) out-of-order effect (playback-order vs arrival-order "
+              "late fractions)\n");
+  std::printf("%4s %8s %14s %14s\n", "run", "tau", "playback", "arrival");
+  for (std::int64_t run = 0; run < knobs.runs; ++run) {
+    auto config =
+        session_for(setting, knobs.duration_s,
+                    knobs.seed + 1000 + static_cast<std::uint64_t>(run) * 97);
+    const auto result = run_session(config);
+    for (double tau : scatter_taus) {
+      const double fp = result.trace.late_fraction_playback_order(
+          tau, result.packets_generated);
+      const double fa = result.trace.late_fraction_arrival_order(
+          tau, result.packets_generated);
+      std::printf("%4lld %8.0f %14.6g %14.6g\n", static_cast<long long>(run),
+                  tau, fp, fa);
+      scatter_csv.row({setting.name, std::to_string(run), CsvWriter::num(tau),
+                       CsvWriter::num(fp), CsvWriter::num(fa)});
+    }
+    for (std::size_t i = 0; i < curve_taus.size(); ++i) {
+      sim_f[i].push_back(result.trace.late_fraction_playback_order(
+          curve_taus[i], result.packets_generated));
+    }
+  }
+
+  // --- model curve (backlogged-probe parameters; see DESIGN.md) ---
+  const auto model_base = model_params_for(setting, knobs.seed + 5000);
+  std::printf("\nmodel path parameters: ");
+  for (const auto& flow : model_base.flows) {
+    std::printf("(p=%.4f R=%.0fms TO=%.2f) ", flow.loss_rate,
+                flow.rtt_s * 1e3, flow.to_ratio);
+  }
+  double sigma_a = 0.0;
+  for (const auto& flow : model_base.flows) {
+    sigma_a += TcpFlowChain(flow).achievable_throughput_pps();
+  }
+  std::printf("sigma_a/mu=%.2f\n", sigma_a / setting.mu_pps);
+
+  std::printf("\n(b) fraction of late packets vs startup delay\n");
+  std::printf("%6s %22s %14s %10s\n", "tau", "sim (95%% CI)", "model",
+              "fm/fs");
+  // Below this the simulation cannot distinguish f from 0.
+  const double sim_resolution =
+      1.0 / (setting.mu_pps * knobs.duration_s *
+             static_cast<double>(knobs.runs));
+  for (std::size_t i = 0; i < curve_taus.size(); ++i) {
+    ComposedParams params = model_base;
+    params.tau_s = curve_taus[i];
+    DmpModelMonteCarlo mc(params, knobs.seed + 7000 + i);
+    const auto model = mc.run(knobs.mc_max, knobs.mc_max / 10);
+    const auto ci = confidence_interval(sim_f[i]);
+    if (ci.mean > 0.0) {
+      std::printf("%6.0f %12.5g +/- %-8.2g %14.6g %10.3g\n", curve_taus[i],
+                  ci.mean, ci.half_width, model.late_fraction,
+                  model.late_fraction / ci.mean);
+    } else {
+      std::printf("%6.0f %12s +/- %-8s %14.6g %10s\n", curve_taus[i],
+                  "< sim res.", "", model.late_fraction,
+                  model.late_fraction < 10.0 * sim_resolution ? "ok" : ">10x");
+    }
+    curve_csv.row({setting.name, CsvWriter::num(curve_taus[i]),
+                   CsvWriter::num(ci.mean), CsvWriter::num(ci.half_width),
+                   CsvWriter::num(model.late_fraction)});
+  }
+  std::printf("\nmatch criterion (paper): model within sim CI, or "
+              "0.1 < fm/fs < 10\n");
+  std::printf("CSV: %s/%s{a,b}_*.csv\n", bench_output_dir().c_str(),
+              figure_name.c_str());
+}
+
+}  // namespace dmp::bench

@@ -1,0 +1,51 @@
+// Helpers for the Section-7 parameter-space studies: constructing
+// homogeneous path sets with a prescribed sigma_a/mu ratio.
+//
+// All rates in the per-flow chain scale with 1/R, so the achievable
+// throughput factorizes as sigma(p, R, TO) = sigma(p, 1, TO) / R — which
+// gives closed forms for "vary R at fixed mu" and "vary mu at fixed R",
+// the two ways the paper sweeps sigma_a/mu.
+#pragma once
+
+#include "model/composed_chain.hpp"
+#include "model/required_delay.hpp"
+
+namespace dmp::bench {
+
+inline TcpChainParams chain_of(double p, double rtt_s, double to) {
+  TcpChainParams params;
+  params.loss_rate = p;
+  params.rtt_s = rtt_s;
+  params.to_ratio = to;
+  params.wmax = 20;
+  params.ack_every = 1;
+  return params;
+}
+
+// Unit-RTT throughput sigma(p, 1, TO) in packets/s.
+inline double unit_rtt_throughput(double p, double to) {
+  return TcpFlowChain(chain_of(p, 1.0, to)).achievable_throughput_pps();
+}
+
+// RTT such that K homogeneous paths give sigma_a / mu = ratio.
+inline double rtt_for_ratio(double p, double to, double mu, double ratio,
+                            int k = 2) {
+  return static_cast<double>(k) * unit_rtt_throughput(p, to) / (ratio * mu);
+}
+
+// mu such that K homogeneous paths at the given RTT give sigma_a/mu = ratio.
+inline double mu_for_ratio(double p, double rtt_s, double to, double ratio,
+                           int k = 2) {
+  return static_cast<double>(k) * unit_rtt_throughput(p, to) /
+         (rtt_s * ratio);
+}
+
+inline ComposedParams homogeneous_setup(double p, double rtt_s, double to,
+                                        double mu) {
+  ComposedParams params;
+  params.flows = {chain_of(p, rtt_s, to), chain_of(p, rtt_s, to)};
+  params.mu_pps = mu;
+  return params;
+}
+
+}  // namespace dmp::bench

@@ -1,0 +1,85 @@
+// Engine performance guards (google-benchmark): event-scheduler throughput,
+// packet-level simulation speed, per-flow chain construction/solution, and
+// the composed Monte-Carlo engine.  Not part of the paper — these keep the
+// reproduction pipeline's cost visible and regressions detectable.
+#include <benchmark/benchmark.h>
+
+#include "apps/background.hpp"
+#include "model/composed_chain.hpp"
+#include "sim/scheduler.hpp"
+#include "stream/session.hpp"
+
+namespace {
+
+using namespace dmp;
+
+void BM_SchedulerEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    std::int64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sched.schedule_after(SimTime::micros(10), tick);
+    };
+    sched.schedule_at(SimTime::zero(), tick);
+    sched.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerEventChurn);
+
+void BM_PacketLevelSession(benchmark::State& state) {
+  for (auto _ : state) {
+    SessionConfig config;
+    config.path_configs = {table1_config(4), table1_config(4)};
+    config.mu_pps = 50.0;
+    config.duration_s = 30.0;
+    config.warmup_s = 5.0;
+    config.drain_s = 5.0;
+    config.seed = 11;
+    const auto result = run_session(config);
+    benchmark::DoNotOptimize(result.events_executed);
+    state.counters["events_per_s"] = benchmark::Counter(
+        static_cast<double>(result.events_executed),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_PacketLevelSession)->Unit(benchmark::kMillisecond);
+
+void BM_TcpChainBuildAndSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    TcpChainParams params;
+    params.loss_rate = 0.02;
+    params.rtt_s = 0.2;
+    params.to_ratio = 2.0;
+    params.wmax = static_cast<int>(state.range(0));
+    const TcpFlowChain chain(params);
+    benchmark::DoNotOptimize(chain.achievable_throughput_pps());
+    state.counters["states"] = static_cast<double>(chain.num_states());
+  }
+}
+BENCHMARK(BM_TcpChainBuildAndSolve)->Arg(12)->Arg(20)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComposedMonteCarlo(benchmark::State& state) {
+  TcpChainParams flow;
+  flow.loss_rate = 0.02;
+  flow.rtt_s = 0.2;
+  flow.to_ratio = 2.0;
+  flow.wmax = 20;
+  ComposedParams params;
+  params.flows = {flow, flow};
+  params.mu_pps = 40.0;
+  params.tau_s = 10.0;
+  for (auto _ : state) {
+    DmpModelMonteCarlo mc(params, 5);
+    const auto result = mc.run(200'000, 20'000);
+    benchmark::DoNotOptimize(result.late_fraction);
+  }
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_ComposedMonteCarlo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

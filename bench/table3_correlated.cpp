@@ -1,0 +1,68 @@
+// Table 3: measured path parameters for correlated paths — both video TCP
+// flows share one Table-1 bottleneck (Fig. 6 topology).  The paper's
+// observation to reproduce: the two flows' parameters come out similar.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace dmp;
+
+namespace {
+
+struct PaperRow {
+  double p, r_ms, to;
+};
+const std::map<std::string, PaperRow> kPaperRows = {
+    {"1", {0.022, 210, 1.6}},
+    {"2", {0.037, 150, 1.7}},
+    {"3", {0.053, 200, 1.9}},
+    {"4", {0.036, 80, 3.0}},
+};
+
+}  // namespace
+
+int main() {
+  const bench::Knobs knobs;
+  bench::banner("Table 3: measured path parameters, correlated paths");
+  std::printf("(%lld runs x %.0f s; flows share one bottleneck; paper "
+              "values in parentheses)\n\n",
+              static_cast<long long>(knobs.runs), knobs.duration_s);
+  std::printf("%-8s %-16s %-16s %-14s %-14s %-11s %-11s %5s\n", "Setting",
+              "p1", "p2", "R1(ms)", "R2(ms)", "TO1", "TO2", "mu");
+
+  CsvWriter csv(bench_output_dir() + "/table3_correlated.csv",
+                {"setting", "run", "p1", "p2", "rtt1_ms", "rtt2_ms", "to1",
+                 "to2", "mu_pps"});
+
+  for (const auto& setting : bench::correlated_settings()) {
+    RunningStats p1, p2, r1, r2, to1, to2;
+    for (std::int64_t run = 0; run < knobs.runs; ++run) {
+      auto config = bench::session_for(setting, knobs.duration_s,
+                                       knobs.seed + 31 + static_cast<std::uint64_t>(run) * 97);
+      const auto result = run_session(config);
+      p1.add(result.paths[0].loss_rate);
+      p2.add(result.paths[1].loss_rate);
+      r1.add(result.paths[0].rtt_s * 1e3);
+      r2.add(result.paths[1].rtt_s * 1e3);
+      to1.add(result.paths[0].to_ratio);
+      to2.add(result.paths[1].to_ratio);
+      csv.row({setting.name, std::to_string(run),
+               CsvWriter::num(result.paths[0].loss_rate),
+               CsvWriter::num(result.paths[1].loss_rate),
+               CsvWriter::num(result.paths[0].rtt_s * 1e3),
+               CsvWriter::num(result.paths[1].rtt_s * 1e3),
+               CsvWriter::num(result.paths[0].to_ratio),
+               CsvWriter::num(result.paths[1].to_ratio),
+               CsvWriter::num(setting.mu_pps)});
+    }
+    const auto& paper = kPaperRows.at(setting.name);
+    std::printf("%-8s %.3f (%.3f)    %.3f (%.3f)    %3.0f (%3.0f)      "
+                "%3.0f (%3.0f)      %.1f (%.1f)  %.1f (%.1f)  %3.0f\n",
+                setting.name.c_str(), p1.mean(), paper.p, p2.mean(), paper.p,
+                r1.mean(), paper.r_ms, r2.mean(), paper.r_ms, to1.mean(),
+                paper.to, to2.mean(), paper.to, setting.mu_pps);
+  }
+  std::printf("\nCSV: %s/table3_correlated.csv\n", bench_output_dir().c_str());
+  return 0;
+}

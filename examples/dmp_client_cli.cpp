@@ -1,0 +1,79 @@
+// Standalone DMP streaming client.
+//
+//   $ ./dmp_client_cli --server 127.0.0.1 --port 9000 --paths 2 --kbps 600
+//
+// Connects K TCP flows to a dmp_server_cli instance, reassembles the
+// stream, and reports playback quality.  The timeliness analysis compares
+// the server's generation timestamps with this host's clock, so the late
+// fractions are only meaningful when both ends share a clock (same
+// machine) or the offset is externally corrected.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "inet/client.hpp"
+
+using namespace dmp::inet;
+
+int main(int argc, char** argv) {
+  ClientConfig config;
+  config.port = 9000;
+  double kbps = 600.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--server IP] [--port N] [--paths K] "
+                     "[--kbps RATE]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--server") {
+      config.server_ip = next();
+    } else if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--paths") {
+      config.num_paths = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--kbps") {
+      kbps = std::atof(next());
+    } else {
+      next();  // prints usage and exits
+    }
+  }
+  config.mu_pps = kbps * 1000.0 / 8.0 / static_cast<double>(config.frame_bytes);
+
+  try {
+    std::printf("dmp_client: connecting %zu flows to %s:%u...\n",
+                config.num_paths, config.server_ip.c_str(), config.port);
+    DmpInetClient client(config);
+    const auto report = client.run();
+
+    std::printf("received %lld packets\n",
+                static_cast<long long>(report.frames_received));
+    const auto split = report.trace.path_split(config.num_paths);
+    for (std::size_t k = 0; k < split.size(); ++k) {
+      std::printf("  path %zu: %.1f%% of the stream\n", k + 1,
+                  split[k] * 100.0);
+    }
+    std::printf("out-of-order at reassembly: %.2f%%\n",
+                report.trace.out_of_order_fraction() * 100.0);
+    if (config.server_ip != "127.0.0.1") {
+      std::printf("(remote server: late fractions below include clock "
+                  "offset between the hosts)\n");
+    }
+    for (double tau : {0.5, 1.0, 2.0, 5.0}) {
+      std::printf("late packets at tau = %.1f s: %.4f%%\n", tau,
+                  report.trace.late_fraction_playback_order(
+                      tau, report.frames_received) *
+                      100.0);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dmp_client: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

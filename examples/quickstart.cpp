@@ -1,0 +1,74 @@
+// Quickstart: stream a 600 kbps live video over two congested paths with
+// DMP-streaming and report playback quality for a range of startup delays.
+//
+//   $ ./quickstart
+//
+// Walks through the three core API layers:
+//   1. a packet-level session (network + background traffic + DMP scheme),
+//   2. trace analysis (late fractions per startup delay),
+//   3. the analytical model for the same setting.
+#include <cstdio>
+
+#include "model/composed_chain.hpp"
+#include "stream/session.hpp"
+
+using namespace dmp;
+
+int main() {
+  // --- 1. simulate: two independent paths, Table-1 config 2 bottlenecks,
+  //        FTP+HTTP background traffic, a 50 pkt/s (600 kbps) live stream.
+  SessionConfig config;
+  config.path_configs = {table1_config(2), table1_config(2)};
+  config.mu_pps = 50.0;
+  config.duration_s = 600.0;
+  config.seed = 42;
+
+  std::printf("simulating %.0f s of DMP-streaming at %.0f pkts/s over two "
+              "congested paths...\n",
+              config.duration_s, config.mu_pps);
+  const auto result = run_session(config);
+
+  std::printf("\npath measurements (what tcpdump would report):\n");
+  for (std::size_t k = 0; k < result.paths.size(); ++k) {
+    const auto& m = result.paths[k];
+    std::printf("  path %zu: loss %.3f, RTT %.0f ms, TO %.1f, carried %.0f%% "
+                "of the stream\n",
+                k + 1, m.loss_rate, m.rtt_s * 1e3, m.to_ratio,
+                m.share * 100.0);
+  }
+
+  // --- 2. analyze the client trace.
+  std::printf("\nplayback quality vs startup delay:\n");
+  std::printf("  %8s %16s\n", "tau (s)", "late packets");
+  for (double tau : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    const double f = result.trace.late_fraction_playback_order(
+        tau, result.packets_generated);
+    std::printf("  %8.0f %15.2f%%\n", tau, f * 100.0);
+  }
+
+  // --- 3. the analytical model predicts the same setting from backlogged
+  //        path parameters (Section 2.2's achievable-throughput process).
+  std::printf("\nanalytical model (backlogged-probe parameters):\n");
+  const auto probe = measure_backlogged_paths(table1_config(2), 1, 7, 400.0);
+  TcpChainParams flow;
+  flow.loss_rate = probe[0].loss_rate;
+  flow.rtt_s = probe[0].rtt_s;
+  flow.to_ratio = probe[0].to_ratio;
+  ComposedParams model;
+  model.flows = {flow, flow};
+  model.mu_pps = config.mu_pps;
+  const double sigma_a = 2.0 * TcpFlowChain(flow).achievable_throughput_pps();
+  std::printf("  aggregate achievable throughput %.0f pkts/s -> sigma_a/mu "
+              "= %.2f\n",
+              sigma_a, sigma_a / config.mu_pps);
+  for (double tau : {4.0, 10.0}) {
+    model.tau_s = tau;
+    DmpModelMonteCarlo mc(model, 1);
+    const auto prediction = mc.run(1'000'000, 100'000);
+    std::printf("  model late fraction at tau=%2.0f s: %.4f%%\n", tau,
+                prediction.late_fraction * 100.0);
+  }
+  std::printf("\n(the paper's rule of thumb: sigma_a/mu >= 1.6 plus a ~10 s "
+              "startup delay gives satisfactory quality)\n");
+  return 0;
+}

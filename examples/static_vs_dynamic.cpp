@@ -1,0 +1,57 @@
+// Static vs dynamic packet allocation, end to end in the packet simulator:
+// the same network, the same video, two schemes.  Path 2 is busier than
+// path 1; static streaming strands half the stream behind the congested
+// bottleneck while DMP routes around it.
+//
+//   $ ./static_vs_dynamic [duration_s]
+#include <cstdio>
+#include <cstdlib>
+
+#include "stream/session.hpp"
+
+using namespace dmp;
+
+namespace {
+
+SessionConfig base_config(double duration_s) {
+  SessionConfig config;
+  config.path_configs = {table1_config(4), table1_config(3)};
+  config.mu_pps = 60.0;
+  config.duration_s = duration_s;
+  config.seed = 99;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double duration = argc > 1 ? std::atof(argv[1]) : 600.0;
+
+  std::printf("streaming %.0f s of 720 kbps live video over an uneven path "
+              "pair (config 4 + config 3)...\n\n",
+              duration);
+
+  auto config = base_config(duration);
+  config.scheme = StreamScheme::kDmp;
+  const auto dmp = run_session(config);
+
+  config.scheme = StreamScheme::kStatic;
+  const auto fixed = run_session(config);
+
+  std::printf("%28s %12s %12s\n", "", "DMP", "static");
+  std::printf("%28s %10.1f%% %10.1f%%\n", "share on the faster path",
+              dmp.paths[0].share * 100.0, fixed.paths[0].share * 100.0);
+  for (double tau : {4.0, 6.0, 8.0, 10.0}) {
+    std::printf("%21s %.0f s %11.4f%% %11.4f%%\n", "late packets, tau =", tau,
+                dmp.trace.late_fraction_playback_order(
+                    tau, dmp.packets_generated) *
+                    100.0,
+                fixed.trace.late_fraction_playback_order(
+                    tau, fixed.packets_generated) *
+                    100.0);
+  }
+  std::printf("\nDMP infers the imbalance from TCP back-pressure alone and "
+              "shifts load to the faster path;\nthe static odd/even split "
+              "cannot, so its late fraction stays high (Section 7.4).\n");
+  return 0;
+}

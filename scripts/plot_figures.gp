@@ -1,0 +1,68 @@
+# Renders the paper's figures from the bench CSVs.
+#   gnuplot -e "outdir='bench_out'" scripts/plot_figures.gp
+# Produces PNG files next to the CSVs.  Requires gnuplot >= 5.
+if (!exists("outdir")) outdir = "bench_out"
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+set key top right
+set grid
+
+# Fig. 4(b) / 5(b): late fraction vs startup delay, sim vs model
+do for [fig in "fig4 fig5"] {
+  set output sprintf("%s/%sb_late_vs_tau.png", outdir, fig)
+  set logscale y
+  set xlabel "startup delay (s)"
+  set ylabel "fraction of late packets"
+  set title sprintf("%s(b): simulation vs model", fig)
+  plot sprintf("%s/%sb_late_vs_tau.csv", outdir, fig) using 2:3:4 \
+         with yerrorlines title "simulation (95% CI)", \
+       '' using 2:5 with linespoints title "model"
+  unset logscale y
+}
+
+# Fig. 7(b): model vs measurement scatter with decade lines
+set output sprintf("%s/fig7b_scatter.png", outdir)
+set logscale xy
+set xlabel "measured late fraction"
+set ylabel "model late fraction"
+set title "fig7(b): Internet-experiment validation"
+set xrange [1e-5:1]
+set yrange [1e-5:1]
+plot sprintf("%s/fig7_internet.csv", outdir) using 5:7 with points pt 7 title "experiments", \
+     x with lines lc "gray" title "perfect match", \
+     10*x with lines lc "gray" dt 2 title "10x band", \
+     0.1*x with lines lc "gray" dt 2 notitle
+unset logscale xy
+
+# Fig. 8: diminishing gain
+set output sprintf("%s/fig8_diminishing_gain.png", outdir)
+set logscale y
+set xlabel "startup delay (s)"
+set ylabel "fraction of late packets"
+set title "fig8: effect of sigma_a/mu (p=0.02, TO=4, mu=25)"
+plot for [r in "1.2 1.4 1.6 1.8 2"] \
+  sprintf("%s/fig8_diminishing_gain.csv", outdir) \
+  using (strcol(1) eq r ? $3 : NaN):4 with linespoints title sprintf("ratio %s", r)
+unset logscale y
+
+# Fig. 10: heterogeneity scatter
+set output sprintf("%s/fig10_heterogeneity.png", outdir)
+set xlabel "required startup delay, homogeneous (s)"
+set ylabel "required startup delay, heterogeneous (s)"
+set title "fig10: insensitivity to path heterogeneity"
+set xrange [0:30]
+set yrange [0:30]
+plot sprintf("%s/fig10_heterogeneity.csv", outdir) using 6:7 with points pt 7 title "24 settings", \
+     x with lines lc "gray" title "diagonal"
+
+# Fig. 11: DMP vs static
+set output sprintf("%s/fig11_static_vs_dmp.png", outdir)
+set xlabel "setting index"
+set ylabel "required startup delay (s)"
+set title "fig11: DMP vs static streaming"
+set auto x
+set auto y
+set style data histograms
+set style fill solid 0.6
+plot sprintf("%s/fig11_static_vs_dmp.csv", outdir) using 5 title "static", \
+     '' using 7 title "DMP"

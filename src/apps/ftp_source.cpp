@@ -1,0 +1,14 @@
+#include "apps/ftp_source.hpp"
+
+namespace dmp {
+
+FtpSource::FtpSource(RenoSender& sender) : sender_(sender) {
+  sender_.set_space_callback([this] { fill(); });
+  fill();
+}
+
+void FtpSource::fill() {
+  while (sender_.enqueue(-1)) ++offered_;
+}
+
+}  // namespace dmp

@@ -1,0 +1,22 @@
+// Backlogged FTP source: keeps its TCP sender's buffer permanently full,
+// so the connection always transmits at its achievable throughput.
+#pragma once
+
+#include "tcp/reno_sender.hpp"
+
+namespace dmp {
+
+class FtpSource {
+ public:
+  explicit FtpSource(RenoSender& sender);
+
+  std::uint64_t packets_offered() const { return offered_; }
+
+ private:
+  void fill();
+
+  RenoSender& sender_;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace dmp

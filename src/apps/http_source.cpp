@@ -1,0 +1,40 @@
+#include "apps/http_source.hpp"
+
+#include <cmath>
+
+namespace dmp {
+
+HttpSource::HttpSource(Scheduler& sched, RenoSender& sender,
+                       HttpSourceConfig config, Rng rng)
+    : sched_(sched), sender_(sender), config_(config), rng_(rng) {
+  sender_.set_space_callback([this] { feed(); });
+  const double jitter = rng_.uniform(0.0, config_.start_jitter_s);
+  sched_.schedule_after(SimTime::seconds(jitter), [this] { start_transfer(); });
+}
+
+void HttpSource::start_transfer() {
+  remaining_ = static_cast<std::int64_t>(
+      std::ceil(rng_.pareto(config_.pareto_shape, config_.min_object_packets,
+                            config_.max_object_packets)));
+  transferring_ = true;
+  sender_.idle_restart();
+  feed();
+}
+
+void HttpSource::feed() {
+  if (!transferring_) return;
+  while (remaining_ > 0 && sender_.enqueue(-1)) {
+    --remaining_;
+    ++offered_;
+  }
+  if (remaining_ == 0 && sender_.buffered() == 0) on_object_done();
+}
+
+void HttpSource::on_object_done() {
+  transferring_ = false;
+  ++objects_completed_;
+  const double think = rng_.exponential(config_.mean_think_time_s);
+  sched_.schedule_after(SimTime::seconds(think), [this] { start_transfer(); });
+}
+
+}  // namespace dmp

@@ -1,0 +1,49 @@
+// HTTP-like on/off background source: alternates between transferring an
+// object (bounded-Pareto size, the classic heavy-tailed web-object model)
+// and an exponential think time.  cwnd is reset after each idle period
+// (slow-start restart), so transfers behave like fresh short connections.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler.hpp"
+#include "tcp/reno_sender.hpp"
+#include "util/rng.hpp"
+
+namespace dmp {
+
+struct HttpSourceConfig {
+  double pareto_shape = 1.3;
+  double min_object_packets = 2.0;
+  double max_object_packets = 200.0;
+  double mean_think_time_s = 2.0;
+  // Initial desynchronization: the first request starts uniformly within
+  // this window so a population of sources does not phase-lock.
+  double start_jitter_s = 5.0;
+};
+
+class HttpSource {
+ public:
+  HttpSource(Scheduler& sched, RenoSender& sender, HttpSourceConfig config,
+             Rng rng);
+
+  std::uint64_t objects_completed() const { return objects_completed_; }
+  std::uint64_t packets_offered() const { return offered_; }
+
+ private:
+  void start_transfer();
+  void feed();
+  void on_object_done();
+
+  Scheduler& sched_;
+  RenoSender& sender_;
+  HttpSourceConfig config_;
+  Rng rng_;
+
+  std::int64_t remaining_ = 0;  // packets left to enqueue in current object
+  bool transferring_ = false;
+  std::uint64_t objects_completed_ = 0;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace dmp

@@ -1,0 +1,58 @@
+// The Section-6 "Internet experiment" harness over emulated WAN paths:
+// stream a CBR video with DMP over K stochastic paths, capture the client
+// trace, and estimate each path's (p, R, TO) from the run the way the
+// paper post-processed tcpdump captures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emul/wan_path.hpp"
+#include "stream/session.hpp"
+#include "stream/trace.hpp"
+
+namespace dmp::emul {
+
+// WAN streaming keeps a smaller send buffer than the simulator default: a
+// deep buffer strands up to its whole contents behind a path's bad epoch
+// (head-of-line blocking the model cannot see), and the real implementation
+// shrinks SO_SNDBUF for the same reason.
+inline TcpConfig wan_video_tcp() {
+  TcpConfig t = default_video_tcp();
+  t.send_buffer_packets = 32;
+  return t;
+}
+
+struct InternetExperimentConfig {
+  std::vector<WanPathConfig> paths;  // one per TCP flow (K >= 1)
+  double mu_pps = 50.0;
+  double duration_s = 3000.0;
+  double drain_s = 60.0;
+  std::uint64_t seed = 1;
+  TcpConfig tcp = wan_video_tcp();
+};
+
+struct InternetExperimentResult {
+  StreamTrace trace;
+  std::vector<PathMeasurement> paths;
+  std::int64_t packets_generated = 0;
+
+  InternetExperimentResult() : trace(1.0) {}
+};
+
+InternetExperimentResult run_internet_experiment(
+    const InternetExperimentConfig& config);
+
+// Preset path profiles used by the Fig.-7 reproduction.  The paper's
+// Internet paths were tight for the playback rates it chose (its measured
+// late fractions span 1e-4..0.2); these profiles put sigma_a/mu in the
+// same 1.1-1.7 regime.
+// A slow ADSL-like access path, suited to the mu = 25 pkts/s experiments.
+WanPathConfig adsl_slow_profile();
+// A faster ADSL-like access path, suited to mu = 50 pkts/s.
+WanPathConfig adsl_fast_profile();
+// A long transpacific path (the paper's Hefei node), paired with an ADSL
+// path for the heterogeneous mu = 100 pkts/s experiments.
+WanPathConfig transpacific_path_profile();
+
+}  // namespace dmp::emul

@@ -1,0 +1,156 @@
+#include "inet/client.hpp"
+
+#include <poll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dmp::inet {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+DmpInetClient::DmpInetClient(ClientConfig config) : config_(config) {
+  if (config_.num_paths == 0) throw std::invalid_argument{"need >= 1 path"};
+  if (config_.mu_pps <= 0.0) throw std::invalid_argument{"mu must be > 0"};
+  if (!config_.read_rate_limit_bps.empty() &&
+      config_.read_rate_limit_bps.size() != config_.num_paths) {
+    throw std::invalid_argument{"one rate limit per path (or none)"};
+  }
+}
+
+ClientReport DmpInetClient::run() {
+  struct Path {
+    Fd fd;
+    FrameParser parser{kDefaultFrameBytes};
+    bool open = true;
+    double budget_bytes = 0.0;  // token bucket for the optional throttle
+    std::uint64_t last_refill_ns = 0;
+    std::uint64_t received = 0;
+  };
+
+  std::vector<Path> paths;
+  for (std::size_t k = 0; k < config_.num_paths; ++k) {
+    Path path;
+    path.fd = connect_to(config_.server_ip, config_.port);
+    set_nonblocking(path.fd);
+    path.parser = FrameParser(config_.frame_bytes);
+    path.last_refill_ns = monotonic_ns();
+    paths.push_back(std::move(path));
+  }
+
+  struct Arrival {
+    std::uint64_t number;
+    std::uint64_t generated_ns;
+    std::uint64_t arrived_ns;
+    std::uint32_t path;
+  };
+  std::vector<Arrival> arrivals;
+
+  std::vector<pollfd> pfds(paths.size());
+  std::vector<unsigned char> buffer(64 * 1024);
+  std::size_t open_paths = paths.size();
+  while (open_paths > 0) {
+    int timeout_ms = -1;
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      pfds[k].fd = paths[k].open ? paths[k].fd.get() : -1;
+      pfds[k].events = POLLIN;
+      pfds[k].revents = 0;
+      // Throttled paths with an exhausted budget wait for a refill instead
+      // of reading.
+      if (paths[k].open && !config_.read_rate_limit_bps.empty() &&
+          config_.read_rate_limit_bps[k] > 0.0 &&
+          paths[k].budget_bytes < 1.0) {
+        pfds[k].fd = -1;
+        timeout_ms = timeout_ms < 0 ? 2 : std::min(timeout_ms, 2);
+      }
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      throw std::runtime_error{std::string{"poll: "} + std::strerror(errno)};
+    }
+
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      auto& path = paths[k];
+      if (!path.open) continue;
+
+      std::size_t limit = buffer.size();
+      if (!config_.read_rate_limit_bps.empty() &&
+          config_.read_rate_limit_bps[k] > 0.0) {
+        const std::uint64_t now = monotonic_ns();
+        path.budget_bytes +=
+            config_.read_rate_limit_bps[k] / 8.0 *
+            (static_cast<double>(now - path.last_refill_ns) * 1e-9);
+        path.budget_bytes = std::min(
+            path.budget_bytes, 8.0 * static_cast<double>(config_.frame_bytes));
+        path.last_refill_ns = now;
+        limit = static_cast<std::size_t>(path.budget_bytes);
+        if (limit == 0) continue;
+      } else if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+
+      const ssize_t n = ::read(path.fd.get(), buffer.data(),
+                               std::min(limit, buffer.size()));
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        throw std::runtime_error{std::string{"read: "} + std::strerror(errno)};
+      }
+      if (n == 0) {
+        path.open = false;
+        --open_paths;
+        continue;
+      }
+      if (!config_.read_rate_limit_bps.empty() &&
+          config_.read_rate_limit_bps[k] > 0.0) {
+        path.budget_bytes -= static_cast<double>(n);
+      }
+      const std::uint64_t now = monotonic_ns();
+      const auto path32 = static_cast<std::uint32_t>(k);
+      path.parser.feed(buffer.data(), static_cast<std::size_t>(n),
+                       [&](const Frame& frame) {
+                         arrivals.push_back(Arrival{frame.packet_number,
+                                                    frame.generated_ns, now,
+                                                    path32});
+                         ++path.received;
+                       });
+    }
+  }
+
+  // Convert to epoch-relative times: packet n was generated at
+  // t0 + n/mu, so t0 recovers from any frame.
+  ClientReport report;
+  report.trace = StreamTrace(config_.mu_pps);
+  if (!arrivals.empty()) {
+    const double period_ns = 1e9 / config_.mu_pps;
+    const std::uint64_t t0 =
+        arrivals.front().generated_ns -
+        static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(arrivals.front().number) * period_ns));
+    for (const auto& a : arrivals) {
+      report.trace.record(
+          static_cast<std::int64_t>(a.number),
+          SimTime::nanos(static_cast<std::int64_t>(a.arrived_ns - t0)),
+          a.path);
+    }
+  }
+  report.frames_received = static_cast<std::int64_t>(arrivals.size());
+  for (const auto& path : paths) {
+    report.received_per_path.push_back(path.received);
+  }
+  return report;
+}
+
+}  // namespace dmp::inet

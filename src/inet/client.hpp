@@ -1,0 +1,52 @@
+// Real-socket DMP-streaming client: opens K TCP connections to the server,
+// reassembles the frames from all paths, and evaluates playback timeliness
+// exactly like the simulator's trace analysis (one machine, one monotonic
+// clock, so generation timestamps and arrival times are directly
+// comparable).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "inet/framing.hpp"
+#include "inet/socket.hpp"
+#include "stream/trace.hpp"
+
+namespace dmp::inet {
+
+struct ClientConfig {
+  std::string server_ip = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t num_paths = 2;
+  double mu_pps = 100.0;
+  std::size_t frame_bytes = kDefaultFrameBytes;
+  // Optional per-path read throttle in bytes/second (0 = unthrottled);
+  // lets tests and demos emulate a slow path over loopback.
+  std::vector<double> read_rate_limit_bps{};
+};
+
+struct ClientReport {
+  // Arrival trace relative to the server's generation epoch; all of
+  // StreamTrace's late-fraction/ordering analyses apply.
+  StreamTrace trace;
+  std::int64_t frames_received = 0;
+  std::vector<std::uint64_t> received_per_path;
+
+  ClientReport() : trace(1.0) {}
+};
+
+class DmpInetClient {
+ public:
+  explicit DmpInetClient(ClientConfig config);
+
+  // Connects, reads until the server closes every path, and returns the
+  // assembled report.
+  ClientReport run();
+
+ private:
+  ClientConfig config_;
+};
+
+}  // namespace dmp::inet

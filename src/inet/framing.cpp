@@ -1,0 +1,52 @@
+#include "inet/framing.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dmp::inet {
+
+namespace {
+
+void put_u64(unsigned char* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void encode_frame_header(const Frame& frame, unsigned char* buffer) {
+  put_u64(buffer, frame.packet_number);
+  put_u64(buffer + 8, frame.generated_ns);
+}
+
+FrameParser::FrameParser(std::size_t frame_bytes) : frame_bytes_(frame_bytes) {
+  if (frame_bytes < kFrameHeaderBytes) {
+    throw std::invalid_argument{"frame size below header size"};
+  }
+}
+
+void FrameParser::feed(const unsigned char* data, std::size_t len,
+                       const std::function<void(const Frame&)>& on_frame) {
+  buffer_.insert(buffer_.end(), data, data + len);
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= frame_bytes_) {
+    Frame frame;
+    frame.packet_number = get_u64(buffer_.data() + offset);
+    frame.generated_ns = get_u64(buffer_.data() + offset + 8);
+    on_frame(frame);
+    offset += frame_bytes_;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+}  // namespace dmp::inet

@@ -1,0 +1,50 @@
+// Wire format of DMP stream packets and the incremental byte-stream parser.
+//
+// Each video packet travels as a fixed-size frame (the paper streams
+// 1448-byte packets — one MSS after TCP/IP headers):
+//
+//   [0..7]   packet number (little-endian uint64)
+//   [8..15]  generation timestamp, ns on the server's monotonic clock
+//   [16..]   payload padding up to frame_bytes
+//
+// TCP delivers a byte stream, so the receiver reassembles frames
+// incrementally across read() boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dmp::inet {
+
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kDefaultFrameBytes = 1448;
+
+struct Frame {
+  std::uint64_t packet_number = 0;
+  std::uint64_t generated_ns = 0;
+};
+
+// Writes the frame header into `buffer` (at least kFrameHeaderBytes long);
+// the rest of the frame is payload padding.
+void encode_frame_header(const Frame& frame, unsigned char* buffer);
+
+// Incremental frame extractor.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t frame_bytes = kDefaultFrameBytes);
+
+  // Consumes `len` bytes and invokes `on_frame` for each completed frame.
+  void feed(const unsigned char* data, std::size_t len,
+            const std::function<void(const Frame&)>& on_frame);
+
+  std::size_t frame_bytes() const { return frame_bytes_; }
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t frame_bytes_;
+  std::vector<unsigned char> buffer_;
+};
+
+}  // namespace dmp::inet

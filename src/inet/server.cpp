@@ -1,0 +1,149 @@
+#include "inet/server.hpp"
+
+#include <poll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dmp::inet {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+DmpInetServer::DmpInetServer(ServerConfig config) : config_(config) {
+  if (config_.num_paths == 0) throw std::invalid_argument{"need >= 1 path"};
+  if (config_.mu_pps <= 0.0) throw std::invalid_argument{"mu must be > 0"};
+  if (config_.frame_bytes < kFrameHeaderBytes) {
+    throw std::invalid_argument{"frame too small"};
+  }
+  listener_ = listen_on(config_.bind_ip, config_.port, &port_);
+}
+
+bool DmpInetServer::pump_connection(Connection& conn) {
+  // Flush a partially-written frame first: it already belongs to this path.
+  while (true) {
+    if (conn.partial_offset < conn.partial.size()) {
+      const ssize_t n = ::write(conn.fd.get(),
+                                conn.partial.data() + conn.partial_offset,
+                                conn.partial.size() - conn.partial_offset);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;  // connection failed
+      }
+      conn.partial_offset += static_cast<std::size_t>(n);
+      if (conn.partial_offset < conn.partial.size()) continue;
+      ++conn.sent_frames;
+      conn.partial.clear();
+      conn.partial_offset = 0;
+    }
+    if (queue_.empty()) return true;
+    // Fetch the head-of-queue packet (the Fig. 2 fetch step).
+    const Frame frame = queue_.front();
+    queue_.pop_front();
+    conn.partial.assign(config_.frame_bytes, 0);
+    encode_frame_header(frame, conn.partial.data());
+    conn.partial_offset = 0;
+  }
+}
+
+ServerStats DmpInetServer::run() {
+  std::vector<Connection> connections;
+  for (std::size_t i = 0; i < config_.num_paths; ++i) {
+    Fd fd = accept_with_timeout(listener_, config_.accept_timeout_ms);
+    if (!fd.valid()) throw std::runtime_error{"accept timed out"};
+    set_nonblocking(fd);
+    set_no_delay(fd);
+    set_send_buffer(fd, config_.send_buffer_bytes);
+    Connection conn;
+    conn.fd = std::move(fd);
+    connections.push_back(std::move(conn));
+  }
+
+  ServerStats stats;
+  stats.sent_per_path.assign(config_.num_paths, 0);
+  const auto total_packets = static_cast<std::int64_t>(
+      std::llround(config_.mu_pps * config_.duration_s));
+  const double period_ns = 1e9 / config_.mu_pps;
+  const std::uint64_t t0 = monotonic_ns();
+  stats.stream_start_ns = t0;
+  std::int64_t generated = 0;
+  std::size_t rotate = 0;
+
+  std::vector<pollfd> pfds(connections.size());
+  while (true) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    const std::uint64_t now = monotonic_ns();
+
+    // Generate every packet whose scheduled instant has passed.
+    while (generated < total_packets) {
+      const std::uint64_t due =
+          t0 + static_cast<std::uint64_t>(
+                   std::llround(static_cast<double>(generated) * period_ns));
+      if (due > now) break;
+      queue_.push_back(Frame{static_cast<std::uint64_t>(generated), due});
+      ++generated;
+    }
+    stats.max_queue_packets = std::max(stats.max_queue_packets, queue_.size());
+
+    // Offer data to every connection (rotating start for fairness).
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      auto& conn = connections[(rotate + i) % connections.size()];
+      if (!pump_connection(conn)) {
+        throw std::runtime_error{"stream connection failed"};
+      }
+    }
+    rotate = (rotate + 1) % connections.size();
+
+    const bool flushed = queue_.empty() &&
+                         std::all_of(connections.begin(), connections.end(),
+                                     [](const Connection& c) {
+                                       return c.partial.empty();
+                                     });
+    if (generated == total_packets && flushed) break;
+
+    // Sleep until the next generation instant or until a blocked
+    // connection becomes writable again.
+    int timeout_ms = 1000;
+    if (generated < total_packets) {
+      const std::uint64_t due =
+          t0 + static_cast<std::uint64_t>(
+                   std::llround(static_cast<double>(generated) * period_ns));
+      const std::uint64_t now2 = monotonic_ns();
+      timeout_ms = due > now2
+                       ? static_cast<int>((due - now2) / 1'000'000ull) + 1
+                       : 0;
+    }
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      pfds[i].fd = connections[i].fd.get();
+      const bool wants_out =
+          !connections[i].partial.empty() || !queue_.empty();
+      pfds[i].events = static_cast<short>(wants_out ? POLLOUT : 0);
+      pfds[i].revents = 0;
+    }
+    if (::poll(pfds.data(), pfds.size(), timeout_ms) < 0 && errno != EINTR) {
+      throw std::runtime_error{std::string{"poll: "} + std::strerror(errno)};
+    }
+  }
+
+  stats.packets_generated = generated;
+  for (std::size_t i = 0; i < connections.size(); ++i) {
+    stats.sent_per_path[i] = connections[i].sent_frames;
+  }
+  // Destructors close the sockets, signalling EOF to the client.
+  return stats;
+}
+
+}  // namespace dmp::inet

@@ -1,0 +1,75 @@
+// Real-socket DMP-streaming server (the paper's Section-6 implementation).
+//
+// One thread, one poll() loop — which *is* the paper's server-queue lock:
+// packet fetches by the per-path TCP senders are serialized by construction.
+// A CBR generator appends packets to the shared queue; whenever a
+// connection's kernel send buffer has room (POLLOUT), that connection
+// fetches from the head of the queue until write() would block.  Small
+// SO_SNDBUF values make blocking — and therefore the implicit bandwidth
+// inference — responsive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <deque>
+#include <vector>
+
+#include "inet/framing.hpp"
+#include "inet/socket.hpp"
+
+namespace dmp::inet {
+
+struct ServerConfig {
+  std::string bind_ip = "127.0.0.1";  // "0.0.0.0" serves remote clients
+  std::uint16_t port = 0;  // 0 = pick an ephemeral port
+  std::size_t num_paths = 2;
+  double mu_pps = 100.0;
+  double duration_s = 10.0;
+  std::size_t frame_bytes = kDefaultFrameBytes;
+  int send_buffer_bytes = 16 * 1024;
+  int accept_timeout_ms = 10000;
+};
+
+struct ServerStats {
+  std::int64_t packets_generated = 0;
+  std::vector<std::uint64_t> sent_per_path;
+  std::size_t max_queue_packets = 0;
+  std::uint64_t stream_start_ns = 0;  // monotonic clock at generation start
+};
+
+class DmpInetServer {
+ public:
+  explicit DmpInetServer(ServerConfig config);
+
+  // Bound listening port (valid immediately after construction).
+  std::uint16_t port() const { return port_; }
+
+  // Accepts num_paths connections, streams for duration_s, flushes the
+  // queue, closes the connections and returns the statistics.  Throws on
+  // socket errors or accept timeout.
+  ServerStats run();
+
+  // Asks a concurrently running run() to wind down early.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Connection {
+    Fd fd;
+    std::vector<unsigned char> partial;  // unwritten tail of a fetched frame
+    std::size_t partial_offset = 0;
+    std::uint64_t sent_frames = 0;
+  };
+
+  // Writes queued data into `conn` until EAGAIN or nothing left; returns
+  // false if the connection failed.
+  bool pump_connection(Connection& conn);
+
+  ServerConfig config_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::deque<Frame> queue_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace dmp::inet

@@ -1,0 +1,137 @@
+#include "inet/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dmp::inet {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Fd::~Fd() { reset(); }
+
+Fd::Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  return std::exchange(fd_, -1);
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+namespace {
+
+in_addr_t parse_ipv4(const std::string& ip) {
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, ip.c_str(), &parsed) != 1) {
+    throw std::invalid_argument{"not an IPv4 dotted-quad address: " + ip};
+  }
+  return parsed.s_addr;
+}
+
+}  // namespace
+
+Fd listen_on(const std::string& bind_ip, std::uint16_t port,
+             std::uint16_t* bound_port) {
+  Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(sock.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = parse_ipv4(bind_ip);
+  addr.sin_port = htons(port);
+  if (::bind(sock.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(sock.get(), 16) != 0) throw_errno("listen");
+
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(sock.get(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Fd listen_on_loopback(std::uint16_t port, std::uint16_t* bound_port) {
+  return listen_on("127.0.0.1", port, bound_port);
+}
+
+Fd connect_to(const std::string& host_ip, std::uint16_t port) {
+  Fd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = parse_ipv4(host_ip);
+  addr.sin_port = htons(port);
+  if (::connect(sock.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw_errno("connect");
+  }
+  return sock;
+}
+
+Fd connect_to_loopback(std::uint16_t port) {
+  return connect_to("127.0.0.1", port);
+}
+
+Fd accept_with_timeout(const Fd& listener, int timeout_ms) {
+  pollfd pfd{listener.get(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) throw_errno("poll");
+  if (ready == 0) return Fd{};
+  const int fd = ::accept(listener.get(), nullptr, nullptr);
+  if (fd < 0) throw_errno("accept");
+  return Fd{fd};
+}
+
+void set_nonblocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_send_buffer(const Fd& fd, int bytes) {
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes) != 0) {
+    throw_errno("setsockopt(SO_SNDBUF)");
+  }
+}
+
+void set_no_delay(const Fd& fd) {
+  const int one = 1;
+  if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) != 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+}  // namespace dmp::inet

@@ -1,0 +1,51 @@
+// RAII wrappers and helpers around POSIX TCP sockets used by the real
+// (non-simulated) DMP-streaming implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmp::inet {
+
+// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept;
+  Fd& operator=(Fd&& other) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a listening TCP socket on bind_ip:port (port 0 = ephemeral;
+// bind_ip "0.0.0.0" accepts from any interface).  Returns the socket;
+// `*bound_port` receives the actual port.
+Fd listen_on(const std::string& bind_ip, std::uint16_t port,
+             std::uint16_t* bound_port);
+Fd listen_on_loopback(std::uint16_t port, std::uint16_t* bound_port);
+
+// Blocking connect to an IPv4 address in dotted-quad form.
+Fd connect_to(const std::string& host_ip, std::uint16_t port);
+Fd connect_to_loopback(std::uint16_t port);
+
+// Accepts one connection, waiting at most `timeout_ms` (-1 = forever).
+// Returns an invalid Fd on timeout.
+Fd accept_with_timeout(const Fd& listener, int timeout_ms);
+
+void set_nonblocking(const Fd& fd);
+// Shrinks the kernel send buffer so a congested connection blocks quickly —
+// the DMP bandwidth-inference mechanism depends on it.
+void set_send_buffer(const Fd& fd, int bytes);
+void set_no_delay(const Fd& fd);
+
+}  // namespace dmp::inet

@@ -1,0 +1,34 @@
+// Section 7.3's illustrative example: all paths alternate between zero and
+// non-zero throughput with a fixed period.  A single path P delivers 2*mu
+// when "on"; DMP uses P1 (rate x) and P2 (rate 2*mu - x).  When the two DMP
+// paths are out of phase, DMP sends on whichever path is up and beats
+// single-path streaming; in phase it degenerates to the single path.
+//
+// The computation is a deterministic fluid model: generation at mu from
+// time 0, playback at mu from tau, transmission limited by the currently
+// available capacity and by how much content exists.  The late fraction is
+// the long-run fraction of playback deadlines at which cumulative arrivals
+// trail cumulative playback.
+#pragma once
+
+namespace dmp {
+
+struct AlternatingScenario {
+  double mu_pps = 25.0;   // playback rate
+  double period_s = 20.0; // full on/off cycle (half up, half down); the
+                          // paper's "period of 10 seconds" reads as the
+                          // phase length — 10 s up, 10 s down
+  double tau_s = 5.0;     // startup delay (the paper's example value)
+  double x_pps = 25.0;    // P1's non-zero rate, x in (0, mu]
+};
+
+struct AlternatingResult {
+  double f_single = 0.0;         // single path at 2*mu / 0
+  double f_dmp_in_phase = 0.0;   // both DMP paths up together (== single)
+  double f_dmp_anti_phase = 0.0; // paths alternate
+  double f_dmp_average = 0.0;    // mean over the two phase alignments
+};
+
+AlternatingResult alternating_late_fractions(const AlternatingScenario& s);
+
+}  // namespace dmp

@@ -1,0 +1,330 @@
+#include "model/composed_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "solver/ctmc.hpp"
+
+namespace dmp {
+
+std::int64_t ComposedParams::nmax() const {
+  return static_cast<std::int64_t>(std::llround(mu_pps * tau_s));
+}
+
+// ---------------------------------------------------------------------------
+// Exact product-chain backend
+// ---------------------------------------------------------------------------
+
+ComposedChainExact::ComposedChainExact(const ComposedParams& params) {
+  if (params.flows.empty()) throw std::invalid_argument{"need >= 1 flow"};
+  if (params.mu_pps <= 0.0) throw std::invalid_argument{"mu must be positive"};
+  const std::int64_t nmax = params.nmax();
+  if (nmax < 1) throw std::invalid_argument{"Nmax = mu*tau must be >= 1"};
+
+  std::vector<TcpFlowChain> chains;
+  chains.reserve(params.flows.size());
+  std::uint64_t flow_product = 1;
+  for (const auto& fp : params.flows) {
+    chains.emplace_back(fp);
+    flow_product *= chains.back().num_states();
+  }
+  const std::uint64_t total =
+      flow_product * static_cast<std::uint64_t>(nmax + 1);
+  // The triplet store costs ~16 B per edge and Gauss-Seidel sweeps the
+  // whole chain repeatedly; beyond a couple of million states the Monte-
+  // Carlo backend is the right tool.
+  if (total > 2'000'000ull) {
+    throw std::invalid_argument{
+        "exact composed chain too large; use DmpModelMonteCarlo"};
+  }
+  num_states_ = static_cast<std::uint32_t>(total);
+
+  const std::size_t kflows = chains.size();
+  // Mixed-radix index: (((x_0 * n_1 + x_1) ... ) * (nmax+1)) + N.
+  std::vector<std::uint64_t> stride(kflows);
+  std::uint64_t acc = static_cast<std::uint64_t>(nmax + 1);
+  for (std::size_t k = kflows; k-- > 0;) {
+    stride[k] = acc;
+    acc *= chains[k].num_states();
+  }
+
+  CtmcBuilder builder(num_states_);
+  // Enumerate composed states by iterating flow-state tuples and N.
+  std::vector<std::uint32_t> x(kflows, 0);
+  while (true) {
+    std::uint64_t base = 0;
+    for (std::size_t k = 0; k < kflows; ++k) base += x[k] * stride[k];
+
+    for (std::int64_t n = 0; n <= nmax; ++n) {
+      const auto from = static_cast<std::uint32_t>(base + static_cast<std::uint64_t>(n));
+      // Consumption: N -> max(N-1, 0); at N = 0 the state is unchanged
+      // (self-loop, dropped) but the consumed packet is late — the metric
+      // reads P(N = 0), so no edge is needed.
+      if (n > 0) {
+        builder.add_transition(from, from - 1, params.mu_pps);
+      }
+      // Flow transitions, frozen at N = Nmax.
+      if (n == nmax) continue;
+      for (std::size_t k = 0; k < kflows; ++k) {
+        for (const auto& t : chains[k].transitions_from(x[k])) {
+          const std::int64_t n2 =
+              std::min<std::int64_t>(n + t.delivered, nmax);
+          const std::uint64_t to = base +
+                                   (static_cast<std::uint64_t>(t.target) -
+                                    static_cast<std::uint64_t>(x[k])) *
+                                       stride[k] +
+                                   static_cast<std::uint64_t>(n2);
+          builder.add_transition(from, static_cast<std::uint32_t>(to), t.rate);
+        }
+      }
+    }
+
+    // Advance the flow-state tuple (odometer).
+    std::size_t k = kflows;
+    while (k-- > 0) {
+      if (++x[k] < chains[k].num_states()) break;
+      x[k] = 0;
+      if (k == 0) {
+        k = SIZE_MAX;
+        break;
+      }
+    }
+    if (k == SIZE_MAX) break;
+  }
+
+  const auto pi = std::move(builder).build().steady_state_gauss_seidel(1e-13);
+
+  n_marginal_.assign(static_cast<std::size_t>(nmax + 1), 0.0);
+  for (std::uint64_t s = 0; s < pi.size(); ++s) {
+    n_marginal_[s % static_cast<std::uint64_t>(nmax + 1)] += pi[s];
+  }
+  late_fraction_ = n_marginal_[0];
+}
+
+// ---------------------------------------------------------------------------
+// Stored-video finite-horizon Monte Carlo
+// ---------------------------------------------------------------------------
+
+StoredVideoResult stored_video_late_fraction(const ComposedParams& params,
+                                             std::int64_t video_packets,
+                                             std::uint64_t replications,
+                                             std::uint64_t seed) {
+  if (params.flows.empty()) throw std::invalid_argument{"need >= 1 flow"};
+  if (params.mu_pps <= 0.0) throw std::invalid_argument{"mu must be positive"};
+  if (video_packets <= 0) throw std::invalid_argument{"empty video"};
+  if (replications == 0) throw std::invalid_argument{"need >= 1 replication"};
+
+  std::vector<TcpFlowChain> chains;
+  chains.reserve(params.flows.size());
+  for (const auto& fp : params.flows) chains.emplace_back(fp);
+
+  Rng master(seed);
+  std::vector<double> per_run;
+  per_run.reserve(replications);
+  for (std::uint64_t rep = 0; rep < replications; ++rep) {
+    Rng rng = master.fork();
+    std::vector<std::uint32_t> state;
+    for (const auto& chain : chains) state.push_back(chain.initial_state());
+
+    double t = 0.0;
+    std::int64_t delivered = 0;
+    std::int64_t consumed = 0;
+    std::int64_t late = 0;
+    while (consumed < video_packets) {
+      const bool consuming = t >= params.tau_s;
+      const bool sending = delivered < video_packets;
+      double total_rate = consuming ? params.mu_pps : 0.0;
+      if (sending) {
+        for (std::size_t k = 0; k < chains.size(); ++k) {
+          total_rate += chains[k].exit_rate(state[k]);
+        }
+      }
+      if (total_rate <= 0.0) {
+        // Everything delivered, playback not yet started: jump to tau.
+        t = params.tau_s;
+        continue;
+      }
+      const double dt = rng.exponential(1.0 / total_rate);
+      // If playback has not started and this event lands past tau, the
+      // consumption process must activate first; restarting the clock at
+      // tau is exact because exponential holding times are memoryless.
+      if (!consuming && t + dt >= params.tau_s) {
+        t = params.tau_s;
+        continue;
+      }
+      t += dt;
+
+      double x = rng.uniform() * total_rate;
+      if (consuming && x < params.mu_pps) {
+        if (consumed >= delivered) ++late;  // nothing to play: glitch
+        ++consumed;
+        continue;
+      }
+      if (consuming) x -= params.mu_pps;
+      for (std::size_t k = 0; k < chains.size(); ++k) {
+        const double r = chains[k].exit_rate(state[k]);
+        if (x < r || k + 1 == chains.size()) {
+          const auto& ts = chains[k].transitions_from(state[k]);
+          double y = rng.uniform() * r;
+          for (const auto& tr : ts) {
+            if (y < tr.rate || &tr == &ts.back()) {
+              state[k] = tr.target;
+              delivered = std::min<std::int64_t>(delivered + tr.delivered,
+                                                 video_packets);
+              break;
+            }
+            y -= tr.rate;
+          }
+          break;
+        }
+        x -= r;
+      }
+    }
+    per_run.push_back(static_cast<double>(late) /
+                      static_cast<double>(video_packets));
+  }
+
+  StoredVideoResult result;
+  result.replications = replications;
+  result.ci = confidence_interval(per_run);
+  result.late_fraction = result.ci.mean;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo backend
+// ---------------------------------------------------------------------------
+
+DmpModelMonteCarlo::DmpModelMonteCarlo(const ComposedParams& params,
+                                       std::uint64_t seed)
+    : params_(params), nmax_(params.nmax()), rng_(seed) {
+  if (params.flows.empty()) throw std::invalid_argument{"need >= 1 flow"};
+  if (params.mu_pps <= 0.0) throw std::invalid_argument{"mu must be positive"};
+  if (nmax_ < 1) throw std::invalid_argument{"Nmax = mu*tau must be >= 1"};
+  for (const auto& fp : params.flows) {
+    chains_.push_back(std::make_shared<const TcpFlowChain>(fp));
+    flow_state_.push_back(chains_.back()->initial_state());
+  }
+  flow_delivered_.assign(chains_.size(), 0);
+  // Start with a full buffer: live streaming begins consuming after the
+  // buffer had tau seconds to fill; the warmup discards any residual bias.
+  n_ = nmax_;
+}
+
+void DmpModelMonteCarlo::step_flow(std::size_t k) {
+  const auto& chain = *chains_[k];
+  const auto& ts = chain.transitions_from(flow_state_[k]);
+  double x = rng_.uniform() * chain.exit_rate(flow_state_[k]);
+  for (const auto& t : ts) {
+    if (x < t.rate || &t == &ts.back()) {
+      flow_state_[k] = t.target;
+      if (t.delivered > 0) {
+        n_ = std::min<std::int64_t>(n_ + t.delivered, nmax_);
+        flow_delivered_[k] += t.delivered;
+      }
+      return;
+    }
+    x -= t.rate;
+  }
+}
+
+bool DmpModelMonteCarlo::step() {
+  // Total event rate: consumption + active (non-frozen) flows.
+  double total = params_.mu_pps;
+  const bool frozen = (n_ == nmax_);
+  if (!frozen) {
+    for (std::size_t k = 0; k < chains_.size(); ++k) {
+      total += chains_[k]->exit_rate(flow_state_[k]);
+    }
+  }
+  double x = rng_.uniform() * total;
+  if (x < params_.mu_pps || frozen) {
+    // Consumption event.
+    if (n_ == 0) {
+      ++late_;
+      batches_.add(1.0);
+    } else {
+      --n_;
+      batches_.add(0.0);
+    }
+    early_sum_ += static_cast<double>(n_);
+    ++counted_;
+    return true;
+  }
+  x -= params_.mu_pps;
+  for (std::size_t k = 0; k < chains_.size(); ++k) {
+    const double r = chains_[k]->exit_rate(flow_state_[k]);
+    if (x < r || k + 1 == chains_.size()) {
+      step_flow(k);
+      return false;
+    }
+    x -= r;
+  }
+  return false;
+}
+
+MonteCarloResult DmpModelMonteCarlo::run(std::uint64_t consumptions,
+                                         std::uint64_t warmup) {
+  // Transient: run `warmup` consumptions without counting.
+  std::uint64_t seen = 0;
+  while (seen < warmup) seen += step() ? 1 : 0;
+
+  late_ = 0;
+  counted_ = 0;
+  early_sum_ = 0.0;
+  batches_ = BatchMeans{};
+  std::fill(flow_delivered_.begin(), flow_delivered_.end(), 0);
+
+  while (counted_ < consumptions) step();
+
+  MonteCarloResult result;
+  result.consumptions = counted_;
+  result.late = late_;
+  result.late_fraction =
+      static_cast<double>(late_) / static_cast<double>(counted_);
+  result.ci = batches_.interval();
+  result.mean_early_packets = early_sum_ / static_cast<double>(counted_);
+  std::uint64_t delivered_total = 0;
+  for (auto d : flow_delivered_) delivered_total += d;
+  for (auto d : flow_delivered_) {
+    result.flow_share.push_back(delivered_total == 0
+                                    ? 0.0
+                                    : static_cast<double>(d) /
+                                          static_cast<double>(delivered_total));
+  }
+  return result;
+}
+
+MonteCarloResult DmpModelMonteCarlo::run_until_decides(
+    double threshold, std::uint64_t min_consumptions,
+    std::uint64_t max_consumptions) {
+  MonteCarloResult result = run(min_consumptions, min_consumptions / 10);
+  std::uint64_t target = min_consumptions;
+  while (result.consumptions < max_consumptions) {
+    const bool decided =
+        result.ci.hi() < threshold || result.ci.lo() > threshold;
+    // Also stop when the estimate is overwhelmingly far from the threshold.
+    if (decided) break;
+    target *= 2;
+    // Continue the same trajectory: accumulate more consumptions.
+    while (counted_ < target) step();
+    result.consumptions = counted_;
+    result.late = late_;
+    result.late_fraction =
+        static_cast<double>(late_) / static_cast<double>(counted_);
+    result.ci = batches_.interval();
+    result.mean_early_packets = early_sum_ / static_cast<double>(counted_);
+  }
+  std::uint64_t delivered_total = 0;
+  for (auto d : flow_delivered_) delivered_total += d;
+  result.flow_share.clear();
+  for (auto d : flow_delivered_) {
+    result.flow_share.push_back(delivered_total == 0
+                                    ? 0.0
+                                    : static_cast<double>(d) /
+                                          static_cast<double>(delivered_total));
+  }
+  return result;
+}
+
+}  // namespace dmp

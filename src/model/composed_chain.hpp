@@ -1,0 +1,119 @@
+// The composed DMP-streaming model (Section 4.2):
+//
+//   state = (X_1, ..., X_K, N),  N = early packets in the client buffer.
+//
+//   * Each flow's transition adds its delivered count S to N, clipped at
+//     Nmax = mu * tau (live-source constraint, Section 2.1); a flow is
+//     frozen (makes no transition) while N = Nmax.
+//   * Consumption events fire at the playback rate mu; a consumption that
+//     finds N = 0 is a late packet.  Consumption is Poisson and state-
+//     independent, so by PASTA the late fraction equals the stationary
+//     probability P(N = 0) — the paper's f = P(N < 0 | E = C).
+//
+// Two backends:
+//   * ComposedChainExact materializes the product chain and solves it with
+//     the sparse CTMC solver — exact, but exponential in K and linear in
+//     Nmax, so practical only for small configurations (used to validate
+//     the Monte-Carlo engine).
+//   * DmpModelMonteCarlo samples trajectories of the same generator —
+//     linear-time per event, handles any Nmax / wmax, and is the workhorse
+//     behind every Section-7 figure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/tcp_chain.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dmp {
+
+struct ComposedParams {
+  std::vector<TcpChainParams> flows;  // K >= 1 paths
+  double mu_pps = 25.0;               // playback / generation rate
+  double tau_s = 10.0;                // startup delay; Nmax = round(mu * tau)
+
+  std::int64_t nmax() const;
+};
+
+class ComposedChainExact {
+ public:
+  explicit ComposedChainExact(const ComposedParams& params);
+
+  std::uint32_t num_states() const { return num_states_; }
+  // Stationary late-packet fraction f = P(N = 0).
+  double late_fraction() const { return late_fraction_; }
+  // Stationary distribution of N alone (marginal).
+  const std::vector<double>& n_marginal() const { return n_marginal_; }
+
+ private:
+  std::uint32_t num_states_ = 0;
+  double late_fraction_ = 0.0;
+  std::vector<double> n_marginal_;
+};
+
+struct MonteCarloResult {
+  double late_fraction = 0.0;
+  ConfidenceInterval ci{};
+  std::uint64_t consumptions = 0;
+  std::uint64_t late = 0;
+  // Fraction of the delivered packets contributed by each flow — the
+  // model-side analogue of the DMP path split.
+  std::vector<double> flow_share;
+  double mean_early_packets = 0.0;
+};
+
+// Stored-video extension: the live-source constraint (and with it the
+// Nmax cap) disappears — flows prefetch arbitrarily far ahead, and the
+// video has a finite length, so the analysis is finite-horizon instead of
+// stationary.  One replication plays the whole video; the late fraction is
+// averaged over replications.
+struct StoredVideoResult {
+  double late_fraction = 0.0;
+  ConfidenceInterval ci{};  // across replications
+  std::uint64_t replications = 0;
+};
+
+StoredVideoResult stored_video_late_fraction(const ComposedParams& params,
+                                             std::int64_t video_packets,
+                                             std::uint64_t replications,
+                                             std::uint64_t seed);
+
+class DmpModelMonteCarlo {
+ public:
+  DmpModelMonteCarlo(const ComposedParams& params, std::uint64_t seed);
+
+  // Simulates until `consumptions` consumption events have been *counted*
+  // (after discarding `warmup` consumptions for the initial transient).
+  MonteCarloResult run(std::uint64_t consumptions, std::uint64_t warmup = 0);
+
+  // Sequential variant for threshold decisions: stops early once the CI
+  // (95%) separates from `threshold`, or after `max_consumptions`.
+  // Returns the estimate with whatever precision was reached.
+  MonteCarloResult run_until_decides(double threshold,
+                                     std::uint64_t min_consumptions,
+                                     std::uint64_t max_consumptions);
+
+ private:
+  void step_flow(std::size_t k);
+  // One event of the composed chain; returns true if it was a consumption.
+  bool step();
+
+  ComposedParams params_;
+  std::vector<std::shared_ptr<const TcpFlowChain>> chains_;
+  std::vector<std::uint32_t> flow_state_;
+  std::int64_t n_ = 0;
+  std::int64_t nmax_;
+  Rng rng_;
+
+  // accounting for the current run() call
+  std::uint64_t late_ = 0;
+  std::uint64_t counted_ = 0;
+  std::vector<std::uint64_t> flow_delivered_;
+  double early_sum_ = 0.0;
+  BatchMeans batches_;
+};
+
+}  // namespace dmp

@@ -1,0 +1,48 @@
+#include "model/heterogeneity.hpp"
+
+#include <stdexcept>
+
+namespace dmp {
+
+HeterogeneousPair homogeneous_pair(const TcpChainParams& per_path) {
+  HeterogeneousPair pair;
+  pair.flows = {per_path, per_path};
+  pair.aggregate_throughput_pps =
+      2.0 * TcpFlowChain(per_path).achievable_throughput_pps();
+  return pair;
+}
+
+HeterogeneousPair heterogeneous_pair(const TcpChainParams& homogeneous,
+                                     HeterogeneityCase which, double gamma) {
+  if (gamma <= 1.0) throw std::invalid_argument{"gamma must exceed 1"};
+  HeterogeneousPair pair;
+  pair.flows = {homogeneous, homogeneous};
+
+  if (which == HeterogeneityCase::kRtt) {
+    pair.flows[0].rtt_s = gamma * homogeneous.rtt_s;
+    pair.flows[1].rtt_s = homogeneous.rtt_s / (2.0 - 1.0 / gamma);
+  } else {
+    const double sigma_o =
+        TcpFlowChain(homogeneous).achievable_throughput_pps();
+    pair.flows[0].loss_rate = gamma * homogeneous.loss_rate;
+    if (pair.flows[0].loss_rate >= 1.0) {
+      throw std::invalid_argument{"gamma * p must stay below 1"};
+    }
+    const double sigma_1 =
+        TcpFlowChain(pair.flows[0]).achievable_throughput_pps();
+    const double sigma_2_target = 2.0 * sigma_o - sigma_1;
+    if (sigma_2_target <= 0.0) {
+      throw std::invalid_argument{
+          "loss heterogeneity too extreme: path 2 would need infinite rate"};
+    }
+    pair.flows[1].loss_rate =
+        loss_rate_for_throughput(sigma_2_target, pair.flows[1]);
+  }
+
+  pair.aggregate_throughput_pps =
+      TcpFlowChain(pair.flows[0]).achievable_throughput_pps() +
+      TcpFlowChain(pair.flows[1]).achievable_throughput_pps();
+  return pair;
+}
+
+}  // namespace dmp

@@ -1,0 +1,33 @@
+// Section 7.2's controlled heterogeneous path constructions.
+//
+// Given a homogeneous pair (p_o, R_o, TO_o) and a heterogeneity factor
+// gamma > 1, build a two-path set with the SAME aggregate achievable
+// throughput:
+//   * Case 1 (RTT heterogeneity):  R1 = gamma * R_o, R2 = R_o / (2 - 1/gamma)
+//     (throughput scales as 1/R, so sigma1 + sigma2 = 2 sigma_o exactly).
+//   * Case 2 (loss heterogeneity): p1 = gamma * p_o and p2 solved from the
+//     achievable-throughput model so sigma1 + sigma2 = 2 sigma_o.  The
+//     paper inverts the PFTK formula; we invert our own chain's throughput
+//     for self-consistency (PFTK inversion is available separately).
+#pragma once
+
+#include <array>
+
+#include "model/tcp_chain.hpp"
+
+namespace dmp {
+
+enum class HeterogeneityCase { kRtt, kLoss };
+
+struct HeterogeneousPair {
+  std::array<TcpChainParams, 2> flows;
+  double aggregate_throughput_pps = 0.0;  // sigma1 + sigma2 (model-derived)
+};
+
+// The homogeneous baseline pair for comparison.
+HeterogeneousPair homogeneous_pair(const TcpChainParams& per_path);
+
+HeterogeneousPair heterogeneous_pair(const TcpChainParams& homogeneous,
+                                     HeterogeneityCase which, double gamma);
+
+}  // namespace dmp

@@ -1,0 +1,53 @@
+#include "model/pftk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmp {
+
+double sqrt_model_throughput_pps(const PftkParams& params) {
+  return 1.0 /
+         (params.rtt_s * std::sqrt(2.0 * params.b * params.loss_rate / 3.0));
+}
+
+double pftk_throughput_pps(const PftkParams& params) {
+  const double p = params.loss_rate;
+  const double R = params.rtt_s;
+  const double T0 = params.rto_s;
+  const double b = params.b;
+  if (p <= 0.0 || p >= 1.0) throw std::invalid_argument{"p must be in (0,1)"};
+  if (R <= 0.0 || T0 <= 0.0) throw std::invalid_argument{"R, T0 must be > 0"};
+
+  // Full model, equation (30) of the paper:
+  //   B(p) = min( Wmax/R,
+  //               1 / ( R*sqrt(2bp/3) + T0 * min(1, 3*sqrt(3bp/8)) * p*(1+32p^2) ) )
+  const double term_fr = R * std::sqrt(2.0 * b * p / 3.0);
+  const double q = std::min(1.0, 3.0 * std::sqrt(3.0 * b * p / 8.0));
+  const double term_to = T0 * q * p * (1.0 + 32.0 * p * p);
+  const double unlimited = 1.0 / (term_fr + term_to);
+  return std::min(params.wmax / R, unlimited);
+}
+
+double pftk_loss_for_throughput(double target_pps, const PftkParams& base) {
+  if (target_pps <= 0.0) {
+    throw std::invalid_argument{"target throughput must be positive"};
+  }
+  if (target_pps >= base.wmax / base.rtt_s) {
+    throw std::invalid_argument{"target exceeds the window-limited rate"};
+  }
+  double lo = 1e-8, hi = 0.99;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    PftkParams params = base;
+    params.loss_rate = mid;
+    if (pftk_throughput_pps(params) >= target_pps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace dmp

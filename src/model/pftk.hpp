@@ -1,0 +1,28 @@
+// The PFTK steady-state TCP throughput formula (Padhye, Firoiu, Towsley,
+// Kurose, SIGCOMM '98) — the paper's reference [24], used in Section 7.2
+// to construct loss-heterogeneous path pairs with a prescribed aggregate
+// achievable throughput.
+#pragma once
+
+namespace dmp {
+
+struct PftkParams {
+  double loss_rate = 0.02;  // p
+  double rtt_s = 0.2;       // R (seconds)
+  double rto_s = 0.4;       // T_0 (seconds); the paper's TO * R
+  double wmax = 20.0;       // receiver-window cap (packets)
+  double b = 1.0;           // packets acknowledged per ACK
+};
+
+// Full PFTK throughput (packets per second), including the timeout term
+// and the window limit.
+double pftk_throughput_pps(const PftkParams& params);
+
+// The square-root-only approximation 1 / (R * sqrt(2bp/3)); useful as an
+// upper-bound sanity check.
+double sqrt_model_throughput_pps(const PftkParams& params);
+
+// Inverse of the full formula in p (bisection).
+double pftk_loss_for_throughput(double target_pps, const PftkParams& base);
+
+}  // namespace dmp

@@ -1,0 +1,83 @@
+#include "model/required_delay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dmp {
+
+namespace {
+
+// True if the late fraction at this tau is below the target.
+bool tau_passes(const ComposedParams& base, double tau_s,
+                const RequiredDelayOptions& options, double* estimate,
+                std::uint64_t salt) {
+  ComposedParams params = base;
+  params.tau_s = tau_s;
+  DmpModelMonteCarlo mc(params, options.seed + salt);
+  const auto result = mc.run_until_decides(options.target_late_fraction,
+                                           options.min_consumptions,
+                                           options.max_consumptions);
+  *estimate = result.late_fraction;
+  // Undecided after the full budget: classify by the point estimate.
+  return result.late_fraction < options.target_late_fraction;
+}
+
+}  // namespace
+
+RequiredDelayResult required_startup_delay(const ComposedParams& base,
+                                           const RequiredDelayOptions& options) {
+  if (options.grid_s <= 0.0 || options.tau_min_s <= 0.0 ||
+      options.tau_max_s < options.tau_min_s) {
+    throw std::invalid_argument{"invalid required-delay search range"};
+  }
+
+  RequiredDelayResult result;
+  const auto grid_points = static_cast<std::int64_t>(
+      std::floor((options.tau_max_s - options.tau_min_s) / options.grid_s));
+  auto tau_at = [&](std::int64_t g) {
+    return options.tau_min_s + static_cast<double>(g) * options.grid_s;
+  };
+
+  // Check feasibility at the top of the range first.
+  double estimate_hi = 0.0;
+  ++result.evaluations;
+  if (!tau_passes(base, tau_at(grid_points), options, &estimate_hi,
+                  static_cast<std::uint64_t>(grid_points))) {
+    result.feasible = false;
+    result.tau_s = tau_at(grid_points);
+    result.late_at_tau = estimate_hi;
+    return result;
+  }
+
+  std::int64_t lo = 0, hi = grid_points;  // hi always passes
+  double estimate_at_hi = estimate_hi;
+  // Does the bottom already pass?
+  double estimate_lo = 0.0;
+  ++result.evaluations;
+  if (tau_passes(base, tau_at(0), options, &estimate_lo, 0)) {
+    result.feasible = true;
+    result.tau_s = tau_at(0);
+    result.late_at_tau = estimate_lo;
+    return result;
+  }
+
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    double estimate = 0.0;
+    ++result.evaluations;
+    if (tau_passes(base, tau_at(mid), options, &estimate,
+                   static_cast<std::uint64_t>(mid))) {
+      hi = mid;
+      estimate_at_hi = estimate;
+    } else {
+      lo = mid;
+    }
+  }
+
+  result.feasible = true;
+  result.tau_s = tau_at(hi);
+  result.late_at_tau = estimate_at_hi;
+  return result;
+}
+
+}  // namespace dmp

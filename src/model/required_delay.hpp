@@ -1,0 +1,36 @@
+// "Required startup delay": the smallest tau (on a 1-second grid, as the
+// paper reports it) for which the stationary late-packet fraction drops
+// below a target — f < 1e-4 throughout Section 7.
+#pragma once
+
+#include <cstdint>
+
+#include "model/composed_chain.hpp"
+
+namespace dmp {
+
+struct RequiredDelayOptions {
+  double target_late_fraction = 1e-4;
+  double tau_min_s = 1.0;
+  double tau_max_s = 120.0;
+  double grid_s = 1.0;  // the paper quotes whole seconds
+  // Monte-Carlo evaluation budget per tau.
+  std::uint64_t min_consumptions = 400'000;
+  std::uint64_t max_consumptions = 6'400'000;
+  std::uint64_t seed = 2007;
+};
+
+struct RequiredDelayResult {
+  double tau_s = 0.0;        // smallest grid tau meeting the target
+  bool feasible = false;     // false if even tau_max fails
+  double late_at_tau = 0.0;  // estimate at the returned tau
+  std::uint64_t evaluations = 0;
+};
+
+// Binary search on the tau grid.  f(tau) is monotone non-increasing (a
+// larger startup delay only relaxes deadlines), so bisection is sound;
+// each probe is a sequential Monte-Carlo threshold decision.
+RequiredDelayResult required_startup_delay(const ComposedParams& base,
+                                           const RequiredDelayOptions& options = {});
+
+}  // namespace dmp

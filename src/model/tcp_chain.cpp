@@ -1,0 +1,308 @@
+#include "model/tcp_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace dmp {
+
+namespace {
+
+enum class Mode : std::uint8_t {
+  kSlowStart,
+  kCongestionAvoidance,
+  kRecovery,
+  kTimeout
+};
+
+// Symbolic state; enumeration assigns dense indices to reachable states only.
+struct StateDesc {
+  Mode mode = Mode::kSlowStart;
+  int w = 1;        // congestion window (packets); 1 in timeout states
+  int ssthresh = 2; // slow-start threshold
+  int c = 0;        // delayed-ACK phase (CA only, 0..b-1)
+  int l = 0;        // packets lost in the previous round, pending recovery
+  int e = 0;        // timeout backoff exponent (timeout states only)
+
+  auto key() const { return std::tie(mode, w, ssthresh, c, l, e); }
+  bool operator<(const StateDesc& o) const { return key() < o.key(); }
+};
+
+struct SymbolicTransition {
+  StateDesc target;
+  double rate;
+  int delivered;
+};
+
+class Expander {
+ public:
+  explicit Expander(const TcpChainParams& p) : p_(p) {
+    if (p.loss_rate <= 0.0 || p.loss_rate >= 1.0) {
+      throw std::invalid_argument{"loss rate must lie in (0, 1)"};
+    }
+    if (p.rtt_s <= 0.0) throw std::invalid_argument{"RTT must be positive"};
+    if (p.to_ratio <= 0.0) throw std::invalid_argument{"TO must be positive"};
+    if (p.wmax < 2) throw std::invalid_argument{"wmax must be >= 2"};
+    if (p.ack_every < 1 || p.ack_every > 2) {
+      throw std::invalid_argument{"ack_every must be 1 or 2"};
+    }
+    if (p.max_backoff < 1) throw std::invalid_argument{"max_backoff >= 1"};
+  }
+
+  std::vector<SymbolicTransition> expand(const StateDesc& s) const {
+    switch (s.mode) {
+      case Mode::kSlowStart:
+      case Mode::kCongestionAvoidance:
+        return expand_round(s);
+      case Mode::kRecovery:
+        return expand_recovery(s);
+      case Mode::kTimeout:
+        return expand_timeout(s);
+    }
+    return {};
+  }
+
+ private:
+  int half(int w) const { return std::max(w / 2, 2); }
+
+  StateDesc grown(const StateDesc& s) const {
+    StateDesc n = s;
+    if (s.mode == Mode::kSlowStart) {
+      // One window-increment per ACK: b=1 doubles the window per round,
+      // b=2 grows it 1.5x.
+      const int acks = (s.w + p_.ack_every - 1) / p_.ack_every;
+      n.w = std::min({s.w + acks, s.ssthresh, p_.wmax});
+      if (n.w >= s.ssthresh) {
+        n.mode = Mode::kCongestionAvoidance;
+        n.c = 0;
+      }
+    } else {
+      // Congestion avoidance: +1 packet every b rounds via the phase bit C.
+      if (s.c + 1 >= p_.ack_every) {
+        n.w = std::min(s.w + 1, p_.wmax);
+        n.c = 0;
+      } else {
+        n.c = s.c + 1;
+      }
+    }
+    return n;
+  }
+
+  std::vector<SymbolicTransition> expand_round(const StateDesc& s) const {
+    std::vector<SymbolicTransition> out;
+    const double p = p_.loss_rate;
+    const double round_rate = 1.0 / p_.rtt_s;
+    const double ok = std::pow(1.0 - p, s.w);
+
+    out.push_back({grown(s), round_rate * ok, s.w});
+
+    // First loss at position i: packets 1..i-1 deliver, i..w are lost.
+    const double q_to = std::min(1.0, 3.0 / s.w);
+    for (int i = 1; i <= s.w; ++i) {
+      const double prob_i = std::pow(1.0 - p, i - 1) * p;
+      const int lost = s.w - i + 1;
+
+      if (q_to > 0.0) {
+        StateDesc to{};
+        to.mode = Mode::kTimeout;
+        to.w = 1;
+        to.ssthresh = half(s.w);
+        to.l = lost;
+        to.e = 1;
+        out.push_back({to, round_rate * prob_i * q_to, i - 1});
+      }
+      if (q_to < 1.0) {
+        StateDesc fr{};
+        fr.mode = Mode::kRecovery;
+        fr.w = half(s.w);
+        fr.ssthresh = half(s.w);
+        fr.l = lost;
+        out.push_back({fr, round_rate * prob_i * (1.0 - q_to), i - 1});
+      }
+    }
+    return out;
+  }
+
+  std::vector<SymbolicTransition> expand_recovery(const StateDesc& s) const {
+    // The recovery round retransmits the l lost packets AND keeps the
+    // (halved) window of new data flowing, as Reno does.  If any
+    // retransmission is lost, recovery fails into timeout; otherwise the
+    // new data faces the usual per-round loss process.
+    std::vector<SymbolicTransition> out;
+    const double p = p_.loss_rate;
+    const double round_rate = 1.0 / p_.rtt_s;
+    const double rtx_ok = std::pow(1.0 - p, s.l);
+
+    // Retransmission lost -> timeout; the gap persists, nothing delivers.
+    {
+      StateDesc to{};
+      to.mode = Mode::kTimeout;
+      to.w = 1;
+      to.ssthresh = half(s.w);
+      to.l = s.l;
+      to.e = 1;
+      out.push_back({to, round_rate * (1.0 - rtx_ok), 0});
+    }
+
+    // Retransmissions arrive: the l blocked packets release, and the new
+    // w-packet round behaves like a normal round.
+    const double all_ok = std::pow(1.0 - p, s.w);
+    StateDesc recovered = s;
+    recovered.mode = Mode::kCongestionAvoidance;
+    recovered.c = 0;
+    recovered.l = 0;
+    out.push_back({recovered, round_rate * rtx_ok * all_ok, s.l + s.w});
+
+    const double q_to = std::min(1.0, 3.0 / s.w);
+    for (int j = 1; j <= s.w; ++j) {
+      const double prob_j = std::pow(1.0 - p, j - 1) * p;
+      const int lost = s.w - j + 1;
+      if (q_to > 0.0) {
+        StateDesc to{};
+        to.mode = Mode::kTimeout;
+        to.w = 1;
+        to.ssthresh = half(s.w);
+        to.l = lost;
+        to.e = 1;
+        out.push_back({to, round_rate * rtx_ok * prob_j * q_to, s.l + j - 1});
+      }
+      if (q_to < 1.0) {
+        StateDesc fr{};
+        fr.mode = Mode::kRecovery;
+        fr.w = half(s.w);
+        fr.ssthresh = half(s.w);
+        fr.l = lost;
+        out.push_back(
+            {fr, round_rate * rtx_ok * prob_j * (1.0 - q_to), s.l + j - 1});
+      }
+    }
+    return out;
+  }
+
+  std::vector<SymbolicTransition> expand_timeout(const StateDesc& s) const {
+    std::vector<SymbolicTransition> out;
+    const double backoff = std::pow(2.0, s.e - 1);
+    const double rate = 1.0 / (p_.to_ratio * backoff * p_.rtt_s);
+
+    StateDesc ss{};
+    ss.mode = Mode::kSlowStart;
+    ss.w = 1;
+    ss.ssthresh = s.ssthresh;
+    out.push_back({ss, rate * (1.0 - p_.loss_rate), s.l});
+
+    StateDesc again = s;
+    again.e = std::min(s.e + 1, p_.max_backoff);
+    if (again.e != s.e) {
+      out.push_back({again, rate * p_.loss_rate, 0});
+    } else {
+      // At the backoff cap the failed retransmission re-enters the same
+      // state; as a CTMC self-loop it is dropped, which only rescales the
+      // holding time the way repeated failures would.
+      out.push_back({again, 0.0, 0});
+    }
+    return out;
+  }
+
+  TcpChainParams p_;
+};
+
+}  // namespace
+
+TcpFlowChain::TcpFlowChain(TcpChainParams params) : params_(params) {
+  const Expander expander(params);
+
+  StateDesc init{};
+  init.mode = Mode::kSlowStart;
+  init.w = 1;
+  init.ssthresh = std::max(params.wmax / 2, 2);
+
+  // BFS over reachable symbolic states, assigning dense indices.
+  std::map<StateDesc, std::uint32_t> index;
+  std::vector<StateDesc> order;
+  std::queue<StateDesc> frontier;
+  index.emplace(init, 0);
+  order.push_back(init);
+  frontier.push(init);
+  while (!frontier.empty()) {
+    const StateDesc s = frontier.front();
+    frontier.pop();
+    for (const auto& t : expander.expand(s)) {
+      if (t.rate <= 0.0) continue;
+      if (index.emplace(t.target, static_cast<std::uint32_t>(order.size()))
+              .second) {
+        order.push_back(t.target);
+        frontier.push(t.target);
+      }
+    }
+  }
+
+  transitions_.resize(order.size());
+  exit_rate_.assign(order.size(), 0.0);
+  timeout_flag_.assign(order.size(), false);
+  for (std::uint32_t si = 0; si < order.size(); ++si) {
+    timeout_flag_[si] = order[si].mode == Mode::kTimeout;
+    for (const auto& t : expander.expand(order[si])) {
+      if (t.rate <= 0.0) continue;
+      transitions_[si].push_back(FlowTransition{
+          index.at(t.target), t.rate, static_cast<std::uint32_t>(t.delivered)});
+      exit_rate_[si] += t.rate;
+    }
+  }
+  initial_ = 0;
+}
+
+std::uint32_t TcpFlowChain::num_states() const {
+  return static_cast<std::uint32_t>(transitions_.size());
+}
+
+std::vector<double> TcpFlowChain::stationary() const {
+  CtmcBuilder builder(num_states());
+  for (std::uint32_t s = 0; s < num_states(); ++s) {
+    for (const auto& t : transitions_[s]) {
+      builder.add_transition(s, t.target, t.rate);
+    }
+  }
+  return std::move(builder).build().steady_state_gauss_seidel();
+}
+
+double TcpFlowChain::achievable_throughput_pps() const {
+  const auto pi = stationary();
+  double rate = 0.0;
+  for (std::uint32_t s = 0; s < num_states(); ++s) {
+    for (const auto& t : transitions_[s]) {
+      rate += pi[s] * t.rate * t.delivered;
+    }
+  }
+  return rate;
+}
+
+double loss_rate_for_throughput(double target_pps, const TcpChainParams& base) {
+  if (target_pps <= 0.0) {
+    throw std::invalid_argument{"target throughput must be positive"};
+  }
+  auto throughput_at = [&](double p) {
+    TcpChainParams params = base;
+    params.loss_rate = p;
+    return TcpFlowChain(params).achievable_throughput_pps();
+  };
+  double lo = 1e-5, hi = 0.6;  // throughput decreasing in p
+  if (throughput_at(lo) < target_pps) {
+    throw std::invalid_argument{
+        "target throughput unreachable even at negligible loss"};
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (throughput_at(mid) >= target_pps) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-7) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace dmp

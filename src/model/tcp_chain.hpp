@@ -1,0 +1,85 @@
+// Per-flow TCP CTMC — the X_k(t) component of the paper's model.
+//
+// The paper (Section 4.2) tracks X_k = (W, C, L, E, Q) and defers the full
+// transition table to its companion TR [32], which is not retrievable; this
+// is our documented reconstruction following the cited modeling lineage
+// (Padhye et al. 1998; Figueiredo et al. 2002; Wang et al. 2004):
+//
+//   * Rounds: in normal operation the flow makes one transition per RTT
+//     (exponential with rate 1/R), sending a W-packet round.
+//   * Correlated intra-round losses: the first loss at position i loses
+//     packets i..W (L = W-i+1); earlier packets deliver (S = i-1).
+//   * Loss detection: timeout with probability min(1, 3/W) (too few dup
+//     ACKs), otherwise fast retransmit -> a recovery round that redelivers
+//     the L lost packets with probability (1-p)^L and halves the window.
+//   * Timeout states: exponential duration with mean TO * 2^(E-1) * R
+//     (E = backoff exponent, capped); the retransmission succeeds w.p. 1-p,
+//     releasing the L blocked packets and restarting in slow start.
+//   * Slow start doubles (b=1) or grows 1.5x (b=2, delayed ACKs) per round
+//     up to ssthresh; congestion avoidance adds one packet per b rounds
+//     (the paper's C component is the b=2 phase bit).
+//
+// Each transition carries S, the number of packets released in order to the
+// client — the increment applied to the early-packet count N(t) in the
+// composed chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/ctmc.hpp"
+
+namespace dmp {
+
+struct TcpChainParams {
+  double loss_rate = 0.02;  // p: per-packet loss probability
+  double rtt_s = 0.2;       // R: round-trip time in seconds
+  double to_ratio = 2.0;    // TO: first retransmission timer / RTT
+  int wmax = 20;            // maximum congestion window (packets)
+  int ack_every = 1;        // b: 1 = per-packet ACKs, 2 = delayed ACKs
+  int max_backoff = 6;      // timeout exponent cap
+};
+
+// One outgoing transition of the per-flow chain.
+struct FlowTransition {
+  std::uint32_t target = 0;
+  double rate = 0.0;       // exponential rate (1/s)
+  std::uint32_t delivered = 0;  // S: packets released in order by this event
+};
+
+class TcpFlowChain {
+ public:
+  explicit TcpFlowChain(TcpChainParams params);
+
+  const TcpChainParams& params() const { return params_; }
+  std::uint32_t num_states() const;
+  std::uint32_t initial_state() const { return initial_; }
+
+  const std::vector<FlowTransition>& transitions_from(std::uint32_t s) const {
+    return transitions_[s];
+  }
+  double exit_rate(std::uint32_t s) const { return exit_rate_[s]; }
+  // True while the flow sits in a timeout state (diagnostics).
+  bool is_timeout_state(std::uint32_t s) const { return timeout_flag_[s]; }
+
+  // Stationary distribution of the flow chain alone (backlogged source).
+  std::vector<double> stationary() const;
+
+  // sigma_k: the achievable (backlogged) TCP throughput in packets/s —
+  // long-run delivered rate of the chain with no Nmax constraint.
+  double achievable_throughput_pps() const;
+
+ private:
+  TcpChainParams params_;
+  std::uint32_t initial_ = 0;
+  std::vector<std::vector<FlowTransition>> transitions_;
+  std::vector<double> exit_rate_;
+  std::vector<bool> timeout_flag_;
+};
+
+// Inverse throughput map: the loss rate at which a path with the given RTT,
+// TO and window limit achieves `target_pps` (bisection; throughput is
+// monotone decreasing in p).  Used by the paper's heterogeneity Case 2.
+double loss_rate_for_throughput(double target_pps, const TcpChainParams& base);
+
+}  // namespace dmp

@@ -1,0 +1,32 @@
+// Per-flow demultiplexer: routes packets leaving a shared pipeline stage to
+// the endpoint (TCP sender or sink) registered for their flow id.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace dmp {
+
+class FlowDemux {
+ public:
+  void register_flow(FlowId flow, PacketHandler handler) {
+    handlers_[flow] = std::move(handler);
+  }
+
+  void deliver(const Packet& p) const {
+    const auto it = handlers_.find(p.flow);
+    if (it != handlers_.end()) it->second(p);
+    // Packets for unregistered flows are silently discarded (e.g. traffic
+    // arriving after an endpoint was torn down).
+  }
+
+  PacketHandler as_handler() {
+    return [this](const Packet& p) { deliver(p); };
+  }
+
+ private:
+  std::unordered_map<FlowId, PacketHandler> handlers_;
+};
+
+}  // namespace dmp

@@ -1,0 +1,65 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+
+namespace dmp {
+
+Link::Link(Scheduler& sched, LinkConfig config)
+    : sched_(sched), config_(config) {
+  if (config_.bandwidth_bps <= 0) {
+    throw std::invalid_argument{"link bandwidth must be positive"};
+  }
+}
+
+void Link::send(const Packet& p) {
+  ++total_arrivals_;
+  auto& fc = per_flow_[p.flow];
+  ++fc.arrivals;
+
+  if (!transmitting_ && queue_.empty()) {
+    start_transmission(p);
+    return;
+  }
+  if (config_.buffer_packets != 0 && queue_.size() >= config_.buffer_packets) {
+    ++total_drops_;
+    ++fc.drops;
+    return;
+  }
+  queue_.push_back(p);
+}
+
+void Link::start_transmission(const Packet& p) {
+  transmitting_ = true;
+  in_flight_ = p;
+  const SimTime tx = transmission_time(p.size_bytes, config_.bandwidth_bps);
+  busy_time_ += tx;
+  sched_.schedule_after(tx, [this] { on_transmit_done(); });
+}
+
+void Link::on_transmit_done() {
+  // Propagation is pipelined: delivery is scheduled and the transmitter is
+  // immediately free for the next queued packet.
+  const Packet delivered = in_flight_;
+  ++total_delivered_;
+  sched_.schedule_after(config_.prop_delay, [this, delivered] {
+    if (receiver_) receiver_(delivered);
+  });
+  transmitting_ = false;
+  if (!queue_.empty()) {
+    const Packet next = queue_.front();
+    queue_.pop_front();
+    start_transmission(next);
+  }
+}
+
+LinkFlowCounters Link::flow_counters(FlowId flow) const {
+  const auto it = per_flow_.find(flow);
+  return it == per_flow_.end() ? LinkFlowCounters{} : it->second;
+}
+
+double Link::utilization(SimTime elapsed) const {
+  if (elapsed.ns() <= 0) return 0.0;
+  return busy_time_.to_seconds() / elapsed.to_seconds();
+}
+
+}  // namespace dmp

@@ -1,0 +1,72 @@
+// Unidirectional link: a drop-tail FIFO feeding a fixed-rate transmitter
+// with constant propagation delay.  This is the ns-2 DropTail/DelayLink
+// pair in one object.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "util/sim_time.hpp"
+
+namespace dmp {
+
+struct LinkConfig {
+  double bandwidth_bps = 10e6;
+  SimTime prop_delay = SimTime::millis(10);
+  // Queue capacity in packets (the paper's Table-1 buffers are in packets);
+  // 0 means unbounded (used for access links that must never drop).
+  std::size_t buffer_packets = 0;
+};
+
+// Per-flow arrival/drop counters at the link's queue; the paper's measured
+// per-path loss probability p_k is drops/arrivals of the video flow at the
+// bottleneck.
+struct LinkFlowCounters {
+  std::uint64_t arrivals = 0;
+  std::uint64_t drops = 0;
+};
+
+class Link {
+ public:
+  Link(Scheduler& sched, LinkConfig config);
+
+  // Downstream receiver; must be set before the first send.
+  void set_receiver(PacketHandler receiver) { receiver_ = std::move(receiver); }
+
+  // Enqueue for transmission; may drop (drop-tail) when the buffer is full.
+  void send(const Packet& p);
+
+  std::size_t queue_length() const { return queue_.size(); }
+  const LinkConfig& config() const { return config_; }
+
+  // Aggregate and per-flow counters.
+  std::uint64_t total_arrivals() const { return total_arrivals_; }
+  std::uint64_t total_drops() const { return total_drops_; }
+  std::uint64_t total_delivered() const { return total_delivered_; }
+  LinkFlowCounters flow_counters(FlowId flow) const;
+
+  // Busy-time integral, for utilization diagnostics.
+  double utilization(SimTime elapsed) const;
+
+ private:
+  void start_transmission(const Packet& p);
+  void on_transmit_done();
+
+  Scheduler& sched_;
+  LinkConfig config_;
+  PacketHandler receiver_;
+  std::deque<Packet> queue_;
+  bool transmitting_ = false;
+  Packet in_flight_{};
+
+  std::uint64_t total_arrivals_ = 0;
+  std::uint64_t total_drops_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  SimTime busy_time_ = SimTime::zero();
+  std::unordered_map<FlowId, LinkFlowCounters> per_flow_;
+};
+
+}  // namespace dmp

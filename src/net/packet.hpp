@@ -1,0 +1,39 @@
+// Packet representation shared by every simulated protocol layer.
+//
+// Packets are small value types copied through the pipeline; sequence
+// numbers are in packet units (MSS-sized segments), matching the ns-2 TCP
+// agent abstraction the paper's simulations are built on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/sim_time.hpp"
+
+namespace dmp {
+
+using FlowId = std::uint32_t;
+
+enum class PacketKind : std::uint8_t { kData, kAck };
+
+struct Packet {
+  FlowId flow = 0;
+  PacketKind kind = PacketKind::kData;
+  // For data: segment sequence number.  For ACKs: cumulative ack number
+  // (next expected segment).
+  std::int64_t seq = 0;
+  std::uint32_t size_bytes = 0;
+  // Application tag carried end-to-end: the stream packet number for video
+  // segments, -1 otherwise.  Retransmissions carry the original tag.
+  std::int64_t app_tag = -1;
+  // Time the packet entered the network (diagnostics only).
+  SimTime injected = SimTime::zero();
+};
+
+// Downstream delivery target of a link / pipeline stage.
+using PacketHandler = std::function<void(const Packet&)>;
+
+inline constexpr std::uint32_t kDataPacketBytes = 1500;  // MTU-sized segments
+inline constexpr std::uint32_t kAckPacketBytes = 40;
+
+}  // namespace dmp

@@ -1,0 +1,69 @@
+#include "net/topology.hpp"
+
+namespace dmp {
+
+DumbbellPath::DumbbellPath(Scheduler& sched, BottleneckConfig bottleneck,
+                           AccessConfig access)
+    : sched_(sched), access_(access), bottleneck_cfg_(bottleneck) {
+  // Forward: shared bottleneck -> exit access link -> per-flow demux.
+  bottleneck_ = std::make_unique<Link>(
+      sched_, LinkConfig{bottleneck.bandwidth_bps, bottleneck.prop_delay,
+                         bottleneck.buffer_packets});
+  exit_ = std::make_unique<Link>(
+      sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
+  bottleneck_->set_receiver([this](const Packet& p) { exit_->send(p); });
+  exit_->set_receiver(fwd_demux_.as_handler());
+
+  // Reverse: ACK path shares the bottleneck's propagation delay but is
+  // provisioned at access speed, so it never congests (ACK losses are
+  // negligible, matching the model's assumption).
+  rev_bottleneck_ = std::make_unique<Link>(
+      sched_, LinkConfig{access_.bandwidth_bps, bottleneck.prop_delay, 0});
+  rev_exit_ = std::make_unique<Link>(
+      sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
+  rev_bottleneck_->set_receiver([this](const Packet& p) { rev_exit_->send(p); });
+  rev_exit_->set_receiver(rev_demux_.as_handler());
+}
+
+PacketHandler DumbbellPath::attach_source(FlowId) {
+  auto entry = std::make_unique<Link>(
+      sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
+  entry->set_receiver([this](const Packet& p) { bottleneck_->send(p); });
+  Link* raw = entry.get();
+  entry_links_.push_back(std::move(entry));
+  return [raw](const Packet& p) { raw->send(p); };
+}
+
+void DumbbellPath::register_sink(FlowId flow, PacketHandler handler) {
+  fwd_demux_.register_flow(flow, std::move(handler));
+}
+
+PacketHandler DumbbellPath::attach_reverse_source(FlowId) {
+  auto entry = std::make_unique<Link>(
+      sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
+  entry->set_receiver(
+      [this](const Packet& p) { rev_bottleneck_->send(p); });
+  Link* raw = entry.get();
+  rev_entry_links_.push_back(std::move(entry));
+  return [raw](const Packet& p) { raw->send(p); };
+}
+
+void DumbbellPath::register_reverse_sink(FlowId flow, PacketHandler handler) {
+  rev_demux_.register_flow(flow, std::move(handler));
+}
+
+double DumbbellPath::base_rtt_seconds() const {
+  const double fwd_prop =
+      2.0 * access_.prop_delay.to_seconds() +
+      bottleneck_cfg_.prop_delay.to_seconds();
+  const double rev_prop = fwd_prop;
+  const double data_tx =
+      static_cast<double>(kDataPacketBytes) * 8.0 /
+          bottleneck_cfg_.bandwidth_bps +
+      2.0 * static_cast<double>(kDataPacketBytes) * 8.0 / access_.bandwidth_bps;
+  const double ack_tx =
+      3.0 * static_cast<double>(kAckPacketBytes) * 8.0 / access_.bandwidth_bps;
+  return fwd_prop + rev_prop + data_tx + ack_tx;
+}
+
+}  // namespace dmp

@@ -1,0 +1,76 @@
+// The paper's validation topologies (Figs. 3 and 6) as a reusable building
+// block: a "dumbbell path" — per-flow access links feeding one shared
+// drop-tail bottleneck, an exit access link, and an uncongested reverse
+// direction for ACKs.
+//
+//   source --[access 100Mbps/10ms]--> (bottleneck: Table-1 config) --
+//     --[access 100Mbps/10ms]--> sink
+//   sink   --[reverse, same delays, 100 Mbps]--> source
+//
+// Independent paths (Fig. 3) = two DumbbellPath instances.
+// Correlated paths (Fig. 6)  = both video flows attached to one instance.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/demux.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/path_interface.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dmp {
+
+// Bottleneck-link parameters (rows of the paper's Table 1 fill these in).
+struct BottleneckConfig {
+  double bandwidth_bps = 3.7e6;
+  SimTime prop_delay = SimTime::millis(40);
+  std::size_t buffer_packets = 50;
+};
+
+struct AccessConfig {
+  double bandwidth_bps = 100e6;
+  SimTime prop_delay = SimTime::millis(10);
+};
+
+class DumbbellPath final : public NetworkPath {
+ public:
+  DumbbellPath(Scheduler& sched, BottleneckConfig bottleneck,
+               AccessConfig access = {});
+
+  // --- forward direction (data) ---
+  // Creates this flow's private access link into the shared bottleneck and
+  // returns the handler the source injects packets into.
+  PacketHandler attach_source(FlowId flow) override;
+  // Registers the receiver of this flow's data at the far end.
+  void register_sink(FlowId flow, PacketHandler handler) override;
+
+  // --- reverse direction (ACKs) ---
+  PacketHandler attach_reverse_source(FlowId flow) override;
+  void register_reverse_sink(FlowId flow, PacketHandler handler) override;
+
+  // Measurement hooks.
+  const Link& bottleneck() const { return *bottleneck_; }
+  Link& bottleneck() { return *bottleneck_; }
+  // Base (zero-queueing) round-trip propagation+transmission latency in
+  // seconds for a data packet + returning ACK; diagnostics only.
+  double base_rtt_seconds() const;
+
+ private:
+  Scheduler& sched_;
+  AccessConfig access_;
+  BottleneckConfig bottleneck_cfg_;
+
+  std::unique_ptr<Link> bottleneck_;
+  std::unique_ptr<Link> exit_;
+  FlowDemux fwd_demux_;
+  std::vector<std::unique_ptr<Link>> entry_links_;
+
+  std::unique_ptr<Link> rev_bottleneck_;
+  std::unique_ptr<Link> rev_exit_;
+  FlowDemux rev_demux_;
+  std::vector<std::unique_ptr<Link>> rev_entry_links_;
+};
+
+}  // namespace dmp

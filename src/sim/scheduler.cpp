@@ -1,0 +1,44 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dmp {
+
+EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument{"schedule_at: time in the past"};
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle{std::move(state)};
+}
+
+EventHandle Scheduler::schedule_after(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step(SimTime horizon) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > horizon) return false;
+    // const_cast is safe: the entry is removed from the queue before use and
+    // priority_queue provides no non-const top().
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (entry.state->done) continue;  // lazily-cancelled event
+    entry.state->done = true;
+    now_ = entry.when;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(SimTime horizon) {
+  std::uint64_t executed = 0;
+  while (step(horizon)) ++executed;
+  if (horizon != SimTime::max() && now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+std::uint64_t Scheduler::run() { return run_until(SimTime::max()); }
+
+}  // namespace dmp

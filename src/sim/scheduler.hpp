@@ -1,0 +1,86 @@
+// Discrete-event scheduler.
+//
+// A binary heap of (time, sequence, callback) entries.  Entries scheduled at
+// the same instant fire in scheduling order (FIFO tie-break), which keeps
+// runs deterministic.  Cancellation is lazy: `EventHandle::cancel()` marks
+// the entry and the run loop skips it when popped — O(1) cancel, no heap
+// surgery, which suits TCP timers that are rescheduled on every ACK.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace dmp {
+
+class Scheduler;
+
+// Shared cancellation token for a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True while the event is scheduled and not cancelled / fired.
+  bool pending() const { return state_ && !state_->done; }
+  void cancel() {
+    if (state_) state_->done = true;
+  }
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool done = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  // Schedule `fn` after a relative delay (must be >= 0).
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn);
+
+  // Run until the event queue drains or the clock passes `horizon`.
+  // Returns the number of events executed.
+  std::uint64_t run_until(SimTime horizon);
+  // Run until the queue drains.
+  std::uint64_t run();
+
+  // Execute at most one event; false when the queue is empty or the next
+  // event lies beyond `horizon` (clock is then left unchanged).
+  bool step(SimTime horizon = SimTime::max());
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace dmp

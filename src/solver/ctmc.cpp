@@ -1,0 +1,134 @@
+#include "solver/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmp {
+
+CtmcBuilder::CtmcBuilder(std::uint32_t num_states) : n_(num_states) {}
+
+void CtmcBuilder::add_transition(std::uint32_t from, std::uint32_t to,
+                                 double rate) {
+  if (from >= n_ || to >= n_) {
+    throw std::out_of_range{"CTMC transition endpoint out of range"};
+  }
+  if (rate < 0.0 || !std::isfinite(rate)) {
+    throw std::invalid_argument{"CTMC transition rate must be finite and >= 0"};
+  }
+  if (rate == 0.0 || from == to) return;
+  triplets_.push_back(Triplet{from, to, rate});
+}
+
+Ctmc CtmcBuilder::build() && {
+  // Sort by destination (then source) so the incoming CSR assembles in one
+  // pass and duplicate edges merge.
+  std::sort(triplets_.begin(), triplets_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.to != b.to) return a.to < b.to;
+              return a.from < b.from;
+            });
+
+  Ctmc chain;
+  chain.n_ = n_;
+  chain.exit_rate_.assign(n_, 0.0);
+  chain.in_off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  chain.in_src_.reserve(triplets_.size());
+  chain.in_rate_.reserve(triplets_.size());
+
+  std::size_t idx = 0;
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    chain.in_off_[j] = chain.in_src_.size();
+    while (idx < triplets_.size() && triplets_[idx].to == j) {
+      const std::uint32_t src = triplets_[idx].from;
+      double rate = 0.0;
+      while (idx < triplets_.size() && triplets_[idx].to == j &&
+             triplets_[idx].from == src) {
+        rate += triplets_[idx].rate;
+        ++idx;
+      }
+      chain.in_src_.push_back(src);
+      chain.in_rate_.push_back(rate);
+      chain.exit_rate_[src] += rate;
+    }
+  }
+  chain.in_off_[n_] = chain.in_src_.size();
+  return chain;
+}
+
+std::vector<double> Ctmc::steady_state_gauss_seidel(double tol,
+                                                    std::size_t max_sweeps) const {
+  if (n_ == 0) throw std::invalid_argument{"empty chain"};
+  for (std::uint32_t s = 0; s < n_; ++s) {
+    if (exit_rate_[s] <= 0.0) {
+      throw std::invalid_argument{
+          "CTMC has an absorbing state; no stationary distribution"};
+    }
+  }
+  std::vector<double> pi(n_, 1.0 / static_cast<double>(n_));
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double delta = 0.0;
+    for (std::uint32_t j = 0; j < n_; ++j) {
+      double inflow = 0.0;
+      for (std::size_t k = in_off_[j]; k < in_off_[j + 1]; ++k) {
+        inflow += pi[in_src_[k]] * in_rate_[k];
+      }
+      const double updated = inflow / exit_rate_[j];
+      delta += std::abs(updated - pi[j]);
+      pi[j] = updated;
+    }
+    // Normalize each sweep; Gauss-Seidel on the unnormalized balance
+    // equations drifts in scale otherwise.
+    double total = 0.0;
+    for (double v : pi) total += v;
+    if (total <= 0.0) throw std::runtime_error{"Gauss-Seidel collapsed to zero"};
+    for (double& v : pi) v /= total;
+    if (delta / total < tol) return pi;
+  }
+  throw std::runtime_error{"Gauss-Seidel did not converge"};
+}
+
+std::vector<double> Ctmc::steady_state_power(double tol,
+                                             std::size_t max_iters) const {
+  if (n_ == 0) throw std::invalid_argument{"empty chain"};
+  double lambda = 0.0;
+  for (std::uint32_t s = 0; s < n_; ++s) {
+    if (exit_rate_[s] <= 0.0) {
+      throw std::invalid_argument{
+          "CTMC has an absorbing state; no stationary distribution"};
+    }
+    lambda = std::max(lambda, exit_rate_[s]);
+  }
+  lambda *= 1.02;  // keep the uniformized chain aperiodic
+
+  std::vector<double> pi(n_, 1.0 / static_cast<double>(n_));
+  std::vector<double> next(n_, 0.0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    for (std::uint32_t j = 0; j < n_; ++j) {
+      double inflow = 0.0;
+      for (std::size_t k = in_off_[j]; k < in_off_[j + 1]; ++k) {
+        inflow += pi[in_src_[k]] * in_rate_[k];
+      }
+      next[j] = pi[j] * (1.0 - exit_rate_[j] / lambda) + inflow / lambda;
+    }
+    double delta = 0.0;
+    for (std::uint32_t j = 0; j < n_; ++j) delta += std::abs(next[j] - pi[j]);
+    pi.swap(next);
+    if (delta < tol) return pi;
+  }
+  throw std::runtime_error{"power iteration did not converge"};
+}
+
+double Ctmc::balance_residual(const std::vector<double>& pi) const {
+  double worst = 0.0;
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    double inflow = 0.0;
+    for (std::size_t k = in_off_[j]; k < in_off_[j + 1]; ++k) {
+      inflow += pi[in_src_[k]] * in_rate_[k];
+    }
+    worst = std::max(worst, std::abs(pi[j] * exit_rate_[j] - inflow));
+  }
+  return worst;
+}
+
+}  // namespace dmp

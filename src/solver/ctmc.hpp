@@ -1,0 +1,67 @@
+// Sparse continuous-time Markov chain representation and steady-state
+// solvers (the TANGRAM-II substitute).
+//
+// The chain is stored column-oriented (incoming transitions per state) plus
+// per-state exit rates — exactly what both solvers need:
+//   * Gauss-Seidel sweeps on the balance equations
+//         pi_j * exit_j = sum_i pi_i * q_ij
+//     (fast on the stiff chains arising here), and
+//   * uniformized power iteration as a slower, assumption-free fallback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmp {
+
+class CtmcBuilder;
+
+class Ctmc {
+ public:
+  std::uint32_t num_states() const { return n_; }
+
+  // Steady-state distribution via Gauss-Seidel; throws if the chain has a
+  // state with no exit (absorbing) or fails to converge.
+  std::vector<double> steady_state_gauss_seidel(double tol = 1e-12,
+                                                std::size_t max_sweeps = 50000) const;
+
+  // Steady-state via uniformized power iteration.
+  std::vector<double> steady_state_power(double tol = 1e-12,
+                                         std::size_t max_iters = 2000000) const;
+
+  double exit_rate(std::uint32_t state) const { return exit_rate_[state]; }
+
+  // Residual max_j |pi_j * exit_j - inflow_j|; diagnostic for tests.
+  double balance_residual(const std::vector<double>& pi) const;
+
+ private:
+  friend class CtmcBuilder;
+  std::uint32_t n_ = 0;
+  // Incoming-transition CSR: for state j, sources in_src_[in_off_[j]..in_off_[j+1]).
+  std::vector<std::size_t> in_off_;
+  std::vector<std::uint32_t> in_src_;
+  std::vector<double> in_rate_;
+  std::vector<double> exit_rate_;
+};
+
+// Accumulates (from, to, rate) triplets; duplicate edges are merged.
+// Self-loops are ignored (they do not affect a CTMC's stationary law).
+class CtmcBuilder {
+ public:
+  explicit CtmcBuilder(std::uint32_t num_states);
+
+  void add_transition(std::uint32_t from, std::uint32_t to, double rate);
+
+  Ctmc build() &&;
+
+ private:
+  struct Triplet {
+    std::uint32_t from;
+    std::uint32_t to;
+    double rate;
+  };
+  std::uint32_t n_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace dmp

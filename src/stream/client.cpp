@@ -1,0 +1,24 @@
+#include "stream/client.hpp"
+
+#include <stdexcept>
+
+namespace dmp {
+
+StreamClient::StreamClient(double mu_pps, std::size_t num_paths)
+    : trace_(mu_pps), num_paths_(num_paths) {}
+
+void StreamClient::attach(std::size_t path, TcpSink& sink) {
+  if (path >= num_paths_) throw std::out_of_range{"path index out of range"};
+  const auto path32 = static_cast<std::uint32_t>(path);
+  sink.set_deliver_callback([this, path32](std::int64_t tag, SimTime when) {
+    on_packet(tag, when, path32);
+  });
+}
+
+void StreamClient::on_packet(std::int64_t number, SimTime when,
+                             std::uint32_t path) {
+  if (number < 0) return;  // non-stream filler (should not happen for video)
+  trace_.record(number, when, path);
+}
+
+}  // namespace dmp

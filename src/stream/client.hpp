@@ -1,0 +1,32 @@
+// Streaming client: collects in-order TCP deliveries from the K paths into
+// the shared trace.  The client buffer is unbounded (Section 2's assumption
+// that modern machines have ample storage), so recording is all it does —
+// playback analysis happens on the trace afterwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/trace.hpp"
+#include "tcp/sink.hpp"
+
+namespace dmp {
+
+class StreamClient {
+ public:
+  StreamClient(double mu_pps, std::size_t num_paths);
+
+  // Wire path k's TCP sink to this client; must be called once per path.
+  void attach(std::size_t path, TcpSink& sink);
+
+  const StreamTrace& trace() const { return trace_; }
+  std::size_t num_paths() const { return num_paths_; }
+
+ private:
+  void on_packet(std::int64_t number, SimTime when, std::uint32_t path);
+
+  StreamTrace trace_;
+  std::size_t num_paths_;
+};
+
+}  // namespace dmp

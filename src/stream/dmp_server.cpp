@@ -1,0 +1,50 @@
+#include "stream/dmp_server.hpp"
+
+#include <stdexcept>
+
+namespace dmp {
+
+DmpStreamingServer::DmpStreamingServer(Scheduler& sched, double mu_pps,
+                                       std::vector<RenoSender*> senders,
+                                       SimTime start, SimTime duration)
+    : sched_(sched),
+      mu_pps_(mu_pps),
+      senders_(std::move(senders)),
+      period_(SimTime::seconds(1.0 / mu_pps)),
+      end_(start + duration) {
+  if (senders_.empty()) throw std::invalid_argument{"DMP needs >= 1 sender"};
+  if (mu_pps <= 0) throw std::invalid_argument{"mu must be positive"};
+  for (std::size_t k = 0; k < senders_.size(); ++k) {
+    senders_[k]->set_space_callback([this, k] { pull_into(k); });
+  }
+  sched_.schedule_at(start, [this] { generate(); });
+}
+
+void DmpStreamingServer::generate() {
+  queue_.push_back(next_number_++);
+  max_queue_ = std::max(max_queue_, queue_.size());
+  offer_all();
+  if (sched_.now() + period_ < end_) {
+    sched_.schedule_after(period_, [this] { generate(); });
+  }
+}
+
+void DmpStreamingServer::pull_into(std::size_t k) {
+  // The sender fetches from the head of the server queue until it blocks
+  // (buffer full) or the queue empties — exactly the Fig. 2 loop.
+  while (!queue_.empty() && senders_[k]->enqueue(queue_.front())) {
+    queue_.pop_front();
+  }
+}
+
+void DmpStreamingServer::offer_all() {
+  // At generation instants several senders may have space (e.g. during
+  // startup); rotate the starting index so no path is structurally favored.
+  const std::size_t n = senders_.size();
+  for (std::size_t i = 0; i < n && !queue_.empty(); ++i) {
+    pull_into((rotate_ + i) % n);
+  }
+  rotate_ = (rotate_ + 1) % n;
+}
+
+}  // namespace dmp

@@ -1,0 +1,54 @@
+// DMP-streaming server (Fig. 2 of the paper).
+//
+// A CBR generator places packets into a shared server queue; each of the K
+// TCP senders fetches from the head of the queue whenever it can send (for
+// us: whenever its send buffer has space).  The paper's lock is implicit in
+// the discrete-event setting — pulls are serialized by the scheduler.
+// Dynamic load balancing emerges with no bandwidth probing: a path with
+// higher achievable throughput drains its send buffer faster, so it pulls
+// (and therefore carries) a larger share of the stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "tcp/reno_sender.hpp"
+#include "util/sim_time.hpp"
+
+namespace dmp {
+
+class DmpStreamingServer {
+ public:
+  // `senders` must outlive the server.  Generation begins at `start` and
+  // runs for `duration`; `mu_pps` is the CBR playback rate in packets/s.
+  DmpStreamingServer(Scheduler& sched, double mu_pps,
+                     std::vector<RenoSender*> senders, SimTime start,
+                     SimTime duration);
+
+  std::int64_t packets_generated() const { return next_number_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  double mu() const { return mu_pps_; }
+  // Peak backlog observed in the server queue (diagnostic: bounded by
+  // mu * (time TCP lags behind generation)).
+  std::size_t max_queue_length() const { return max_queue_; }
+
+ private:
+  void generate();
+  void pull_into(std::size_t k);
+  void offer_all();
+
+  Scheduler& sched_;
+  double mu_pps_;
+  std::vector<RenoSender*> senders_;
+  SimTime period_;
+  SimTime end_;
+
+  std::deque<std::int64_t> queue_;  // packet numbers awaiting a sender
+  std::int64_t next_number_ = 0;
+  std::size_t rotate_ = 0;  // fairness when several senders have space
+  std::size_t max_queue_ = 0;
+};
+
+}  // namespace dmp

@@ -1,0 +1,180 @@
+#include "stream/session.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "stream/dmp_server.hpp"
+#include "stream/static_server.hpp"
+#include "stream/stored_server.hpp"
+#include "tcp/connection.hpp"
+#include "util/rng.hpp"
+
+namespace dmp {
+
+SessionResult run_session(const SessionConfig& config) {
+  if (config.path_configs.empty()) {
+    throw std::invalid_argument{"session needs at least one path config"};
+  }
+  if (config.correlated && config.path_configs.size() != 1) {
+    throw std::invalid_argument{"correlated sessions use a single bottleneck"};
+  }
+  if (!config.correlated && config.path_configs.size() != config.num_flows) {
+    throw std::invalid_argument{
+        "independent sessions need one path config per video flow"};
+  }
+
+  Scheduler sched;
+  Rng rng(config.seed);
+
+  // --- network paths + background traffic ---
+  std::vector<std::unique_ptr<DumbbellPath>> paths;
+  std::vector<std::unique_ptr<BackgroundTraffic>> background;
+  for (std::size_t i = 0; i < config.path_configs.size(); ++i) {
+    paths.push_back(std::make_unique<DumbbellPath>(
+        sched, config.path_configs[i].bottleneck()));
+    const FlowId first_bg = static_cast<FlowId>(1000 * (i + 1));
+    background.push_back(std::make_unique<BackgroundTraffic>(
+        sched, *paths.back(), config.path_configs[i], first_bg, rng.fork()));
+  }
+
+  // --- video connections (flow k rides path k, or the shared path) ---
+  TcpConfig video_tcp = config.video_tcp;
+  if (video_tcp.send_overhead_s == 0.0) {
+    // Default anti-phase-effect jitter (ns-2 overhead_ practice).
+    video_tcp.send_overhead_s = 0.0005;
+    video_tcp.jitter_seed = rng.next_u64();
+  }
+  std::vector<TcpConnection> video;
+  std::vector<RenoSender*> senders;
+  for (std::size_t k = 0; k < config.num_flows; ++k) {
+    DumbbellPath& target = config.correlated ? *paths[0] : *paths[k];
+    video.push_back(
+        make_connection(sched, static_cast<FlowId>(k), target, video_tcp));
+    senders.push_back(video.back().sender.get());
+  }
+
+  const SimTime epoch = SimTime::seconds(config.warmup_s);
+  StreamTrace trace(config.mu_pps);
+  for (std::size_t k = 0; k < config.num_flows; ++k) {
+    const auto path32 = static_cast<std::uint32_t>(k);
+    video[k].sink->set_deliver_callback(
+        [&trace, path32, &sched, epoch](std::int64_t tag, SimTime) {
+          if (tag >= 0) trace.record(tag, sched.now() - epoch, path32);
+        });
+  }
+
+  // --- server (scheme under test) ---
+  std::unique_ptr<DmpStreamingServer> dmp_server;
+  std::unique_ptr<StaticStreamingServer> static_server;
+  std::unique_ptr<StoredStreamingServer> stored_server;
+  const SimTime duration = SimTime::seconds(config.duration_s);
+  const auto stored_total = static_cast<std::int64_t>(
+      std::llround(config.mu_pps * config.duration_s));
+  switch (config.scheme) {
+    case StreamScheme::kDmp:
+      dmp_server = std::make_unique<DmpStreamingServer>(
+          sched, config.mu_pps, senders, epoch, duration);
+      break;
+    case StreamScheme::kStatic:
+      static_server = std::make_unique<StaticStreamingServer>(
+          sched, config.mu_pps, senders, epoch, duration,
+          config.static_weights);
+      break;
+    case StreamScheme::kStored:
+      // The whole video is on disk; transmission starts at the epoch.
+      sched.schedule_at(epoch, [&sched, &stored_server, senders,
+                                stored_total] {
+        stored_server = std::make_unique<StoredStreamingServer>(
+            sched, stored_total, senders);
+      });
+      break;
+  }
+
+  const SimTime horizon =
+      epoch + duration + SimTime::seconds(config.drain_s);
+  SessionResult result;
+  result.events_executed = sched.run_until(horizon);
+
+  // --- per-path measurements (Table 2 / Table 3 rows) ---
+  switch (config.scheme) {
+    case StreamScheme::kDmp:
+      result.packets_generated = dmp_server->packets_generated();
+      break;
+    case StreamScheme::kStatic:
+      result.packets_generated = static_server->packets_generated();
+      break;
+    case StreamScheme::kStored:
+      result.packets_generated = stored_total;
+      break;
+  }
+  const auto split = trace.path_split(config.num_flows);
+  for (std::size_t k = 0; k < config.num_flows; ++k) {
+    const DumbbellPath& path = config.correlated ? *paths[0] : *paths[k];
+    const auto counters =
+        path.bottleneck().flow_counters(static_cast<FlowId>(k));
+    PathMeasurement m;
+    m.loss_rate = counters.arrivals == 0
+                      ? 0.0
+                      : static_cast<double>(counters.drops) /
+                            static_cast<double>(counters.arrivals);
+    m.rtt_s = video[k].sender->stats().mean_rtt_s();
+    m.to_ratio = video[k].sender->stats().normalized_timeout();
+    m.share = split[k];
+    m.tcp = video[k].sender->stats();
+    result.paths.push_back(m);
+  }
+  result.trace = std::move(trace);
+  return result;
+}
+
+std::vector<BackloggedProbe> measure_backlogged_paths(
+    const PathConfig& config, std::size_t num_probe_flows, std::uint64_t seed,
+    double duration_s, const TcpConfig& probe_tcp) {
+  if (num_probe_flows == 0) {
+    throw std::invalid_argument{"need at least one probe flow"};
+  }
+  Scheduler sched;
+  Rng rng(seed);
+  DumbbellPath path(sched, config.bottleneck());
+  BackgroundTraffic background(sched, path, config, 1000, rng.fork());
+
+  TcpConfig tcp = probe_tcp;
+  if (tcp.send_overhead_s == 0.0) {
+    tcp.send_overhead_s = 0.0005;
+    tcp.jitter_seed = rng.next_u64();
+  }
+  std::vector<TcpConnection> probes;
+  std::vector<std::unique_ptr<FtpSource>> sources;
+  std::vector<std::int64_t> delivered(num_probe_flows, 0);
+  for (std::size_t k = 0; k < num_probe_flows; ++k) {
+    probes.push_back(make_connection(sched, static_cast<FlowId>(k), path, tcp));
+    auto* count = &delivered[k];
+    probes.back().sink->set_deliver_callback(
+        [count](std::int64_t, SimTime) { ++*count; });
+    sources.push_back(std::make_unique<FtpSource>(*probes.back().sender));
+  }
+
+  const double warmup_s = 20.0;
+  sched.run_until(SimTime::seconds(warmup_s + duration_s));
+
+  std::vector<BackloggedProbe> measurements;
+  for (std::size_t k = 0; k < num_probe_flows; ++k) {
+    const auto counters =
+        path.bottleneck().flow_counters(static_cast<FlowId>(k));
+    BackloggedProbe m;
+    m.loss_rate = counters.arrivals == 0
+                      ? 0.0
+                      : static_cast<double>(counters.drops) /
+                            static_cast<double>(counters.arrivals);
+    m.rtt_s = probes[k].sender->stats().mean_rtt_s();
+    m.to_ratio = probes[k].sender->stats().normalized_timeout();
+    m.throughput_pps = static_cast<double>(delivered[k]) / duration_s;
+    measurements.push_back(m);
+  }
+  return measurements;
+}
+
+}  // namespace dmp

@@ -1,0 +1,93 @@
+// One complete validation experiment (the paper's Section 5 setup):
+// K network paths with Table-1 bottleneck configurations and FTP/HTTP
+// background traffic, a multipath video stream (DMP or static), and
+// per-path measurements of the parameters the model consumes
+// (p_k, R_k, TO_k), exactly as Tables 2 and 3 report them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/background.hpp"
+#include "stream/trace.hpp"
+#include "tcp/tcp_config.hpp"
+
+namespace dmp {
+
+// kStored streams a pre-recorded video of mu*duration packets with the DMP
+// pull discipline but no live-source constraint (Section-3 extension).
+enum class StreamScheme { kDmp, kStatic, kStored };
+
+// Video flows default to per-packet ACKs — the ns-2 TCPSink default the
+// paper's simulations would have used (delayed ACKs remain available).
+inline TcpConfig default_video_tcp() {
+  TcpConfig t;
+  t.delayed_ack = false;
+  return t;
+}
+
+struct SessionConfig {
+  // One entry per independent path (Fig. 3).  For correlated paths (Fig. 6)
+  // set `correlated = true` and provide exactly one entry: all `num_flows`
+  // video flows then share that single bottleneck.
+  std::vector<PathConfig> path_configs;
+  bool correlated = false;
+  std::size_t num_flows = 2;
+  StreamScheme scheme = StreamScheme::kDmp;
+  double mu_pps = 50.0;
+  double duration_s = 3000.0;
+  // Background warm-up before video generation starts; arrival timestamps
+  // are reported relative to the video epoch.
+  double warmup_s = 20.0;
+  // Extra simulated time after generation ends so in-flight video packets
+  // drain to the client.
+  double drain_s = 60.0;
+  std::uint64_t seed = 1;
+  TcpConfig video_tcp = default_video_tcp();
+  std::vector<double> static_weights{};  // empty = even split
+};
+
+// Per-video-flow path statistics (one row of Table 2 / Table 3).
+struct PathMeasurement {
+  double loss_rate = 0.0;   // p_k: drops/arrivals at the bottleneck
+  double rtt_s = 0.0;       // R_k: mean Karn-filtered RTT sample
+  double to_ratio = 0.0;    // TO_k = R_TO / R_k
+  double share = 0.0;       // fraction of the stream carried by this path
+  TcpSenderStats tcp{};
+};
+
+struct SessionResult {
+  StreamTrace trace;
+  std::vector<PathMeasurement> paths;
+  std::int64_t packets_generated = 0;
+  std::uint64_t events_executed = 0;
+
+  SessionResult() : trace(1.0) {}
+};
+
+SessionResult run_session(const SessionConfig& config);
+
+// Backlogged-probe measurement of a path's model parameters.
+//
+// Section 2.2 defines sigma_k as the throughput of a *backlogged* TCP
+// source, and the analytical model's (p, R, TO) parameterize exactly that
+// achievable-throughput process.  Under drop-tail queues an app-limited
+// video stream measures a noticeably higher p than a backlogged flow on
+// the same path (its post-idle bursts land on full queues), so feeding the
+// model video-stream-measured parameters biases it pessimistic.  The probe
+// runs `num_probe_flows` backlogged flows (flow ids 0..n-1, matching the
+// video flows they stand in for) against the configuration's background
+// traffic and reports each flow's parameters.
+struct BackloggedProbe {
+  double loss_rate = 0.0;
+  double rtt_s = 0.0;
+  double to_ratio = 0.0;
+  double throughput_pps = 0.0;
+};
+
+std::vector<BackloggedProbe> measure_backlogged_paths(
+    const PathConfig& config, std::size_t num_probe_flows, std::uint64_t seed,
+    double duration_s = 1500.0,
+    const TcpConfig& probe_tcp = default_video_tcp());
+
+}  // namespace dmp

@@ -1,0 +1,70 @@
+#include "stream/static_server.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dmp {
+
+StaticStreamingServer::StaticStreamingServer(Scheduler& sched, double mu_pps,
+                                             std::vector<RenoSender*> senders,
+                                             SimTime start, SimTime duration,
+                                             std::vector<double> weights)
+    : sched_(sched),
+      mu_pps_(mu_pps),
+      senders_(std::move(senders)),
+      period_(SimTime::seconds(1.0 / mu_pps)),
+      end_(start + duration),
+      queues_(this->senders_.size()) {
+  if (senders_.empty()) throw std::invalid_argument{"static needs >= 1 sender"};
+  if (!weights.empty() && weights.size() != senders_.size()) {
+    throw std::invalid_argument{"weights size must match sender count"};
+  }
+  if (weights.empty()) weights.assign(senders_.size(), 1.0);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument{"weights must be positive"};
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"weights must be non-negative"};
+    weights_.push_back(w / total);
+  }
+  assigned_.assign(senders_.size(), 0);
+  for (std::size_t k = 0; k < senders_.size(); ++k) {
+    senders_[k]->set_space_callback([this, k] { pull_into(k); });
+  }
+  sched_.schedule_at(start, [this] { generate(); });
+}
+
+std::size_t StaticStreamingServer::assign_path() {
+  // Deficit (weighted) round-robin: packet n goes to the path furthest
+  // behind its target share.  Equal weights reduce to plain round-robin
+  // (odd/even for K = 2); unequal weights interleave proportionally.
+  const double n1 = static_cast<double>(next_number_ + 1);
+  std::size_t best = 0;
+  double best_deficit = -1e300;
+  for (std::size_t k = 0; k < queues_.size(); ++k) {
+    const double deficit =
+        weights_[k] * n1 - static_cast<double>(assigned_[k]);
+    if (deficit > best_deficit) {
+      best_deficit = deficit;
+      best = k;
+    }
+  }
+  ++assigned_[best];
+  return best;
+}
+
+void StaticStreamingServer::generate() {
+  const std::size_t k = assign_path();
+  queues_[k].push_back(next_number_++);
+  pull_into(k);
+  if (sched_.now() + period_ < end_) {
+    sched_.schedule_after(period_, [this] { generate(); });
+  }
+}
+
+void StaticStreamingServer::pull_into(std::size_t k) {
+  while (!queues_[k].empty() && senders_[k]->enqueue(queues_[k].front())) {
+    queues_[k].pop_front();
+  }
+}
+
+}  // namespace dmp

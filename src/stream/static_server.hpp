@@ -1,0 +1,47 @@
+// Static multipath streaming (Section 7.4 baseline): packets are assigned
+// to paths by a fixed rule decided in advance — packet n goes to path
+// n mod K (the paper's odd/even split for K = 2, generalizing to weighted
+// splits when average path bandwidths differ).  Each sender pulls only from
+// its own private queue, so a congested path blocks its own share of the
+// stream even while the other path idles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "tcp/reno_sender.hpp"
+#include "util/sim_time.hpp"
+
+namespace dmp {
+
+class StaticStreamingServer {
+ public:
+  // `weights` gives the long-run fraction of packets per path (measured
+  // average bandwidths in the paper); empty means an even split.
+  StaticStreamingServer(Scheduler& sched, double mu_pps,
+                        std::vector<RenoSender*> senders, SimTime start,
+                        SimTime duration, std::vector<double> weights = {});
+
+  std::int64_t packets_generated() const { return next_number_; }
+  std::size_t queue_length(std::size_t k) const { return queues_[k].size(); }
+
+ private:
+  void generate();
+  void pull_into(std::size_t k);
+  std::size_t assign_path();
+
+  Scheduler& sched_;
+  double mu_pps_;
+  std::vector<RenoSender*> senders_;
+  SimTime period_;
+  SimTime end_;
+  std::vector<double> weights_;            // normalized target fractions
+  std::vector<std::int64_t> assigned_;     // packets assigned per path
+
+  std::vector<std::deque<std::int64_t>> queues_;
+  std::int64_t next_number_ = 0;
+};
+
+}  // namespace dmp

@@ -1,0 +1,27 @@
+#include "stream/stored_server.hpp"
+
+#include <stdexcept>
+
+namespace dmp {
+
+StoredStreamingServer::StoredStreamingServer(Scheduler& sched,
+                                             std::int64_t total_packets,
+                                             std::vector<RenoSender*> senders)
+    : senders_(std::move(senders)), total_(total_packets) {
+  (void)sched;  // kept for interface symmetry with the live server
+  if (senders_.empty()) throw std::invalid_argument{"need >= 1 sender"};
+  if (total_ <= 0) throw std::invalid_argument{"video must be non-empty"};
+  for (std::size_t k = 0; k < senders_.size(); ++k) {
+    senders_[k]->set_space_callback([this, k] { pull_into(k); });
+  }
+  // Prime every sender immediately — the whole video is available.
+  for (std::size_t k = 0; k < senders_.size(); ++k) pull_into(k);
+}
+
+void StoredStreamingServer::pull_into(std::size_t k) {
+  while (next_number_ < total_ && senders_[k]->enqueue(next_number_)) {
+    ++next_number_;
+  }
+}
+
+}  // namespace dmp

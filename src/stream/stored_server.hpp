@@ -1,0 +1,41 @@
+// Stored-video DMP streaming — the paper's Section-3 remark ("it is also
+// applicable to stored-video streaming"), left as future work there and
+// implemented here as an extension.
+//
+// The whole video exists before streaming starts, so the live-source
+// constraint disappears: the server queue is the entire remaining video
+// and the senders prefetch as far ahead as TCP allows.  The client buffer
+// is unbounded (Section-2 assumption), so the prefetch depth is limited
+// only by path throughput — the early-packet cap Nmax = mu*tau of live
+// streaming no longer applies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "tcp/reno_sender.hpp"
+
+namespace dmp {
+
+class StoredStreamingServer {
+ public:
+  // Streams packets [0, total_packets) over the given senders, starting
+  // immediately; `mu_pps` is kept only for bookkeeping symmetry with the
+  // live server (the send rate is whatever TCP achieves).
+  StoredStreamingServer(Scheduler& sched, std::int64_t total_packets,
+                        std::vector<RenoSender*> senders);
+
+  std::int64_t packets_total() const { return total_; }
+  std::int64_t packets_dispatched() const { return next_number_; }
+  bool finished() const { return next_number_ == total_; }
+
+ private:
+  void pull_into(std::size_t k);
+
+  std::vector<RenoSender*> senders_;
+  std::int64_t total_;
+  std::int64_t next_number_ = 0;
+};
+
+}  // namespace dmp

@@ -1,0 +1,22 @@
+// Convenience wiring of a RenoSender + TcpSink pair across a NetworkPath.
+#pragma once
+
+#include <memory>
+
+#include "net/path_interface.hpp"
+#include "tcp/reno_sender.hpp"
+#include "tcp/sink.hpp"
+
+namespace dmp {
+
+struct TcpConnection {
+  std::unique_ptr<RenoSender> sender;
+  std::unique_ptr<TcpSink> sink;
+};
+
+// Creates a connection whose data flows forward over `path` and whose ACKs
+// return on the reverse direction.  The flow id must be unique per path.
+TcpConnection make_connection(Scheduler& sched, FlowId flow,
+                              NetworkPath& path, const TcpConfig& config);
+
+}  // namespace dmp

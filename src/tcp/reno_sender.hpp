@@ -1,0 +1,112 @@
+// TCP Reno sender agent (one-way data, ns-2 style).
+//
+// The application hands the sender MSS-sized "app packets" (each carrying an
+// opaque tag, e.g. the stream packet number) through a bounded send buffer.
+// `space()` and the space callback are the hook DMP-streaming uses: a sender
+// with free buffer space pulls more packets from the shared server queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_config.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace dmp {
+
+class RenoSender {
+ public:
+  RenoSender(Scheduler& sched, FlowId flow, TcpConfig config,
+             PacketHandler network_out);
+
+  // --- application side ---
+  // Free send-buffer slots.
+  std::size_t space() const;
+  // Appends one segment carrying `app_tag`; returns false when the buffer is
+  // full.  Transmission is attempted immediately if the window allows.
+  bool enqueue(std::int64_t app_tag);
+  // Invoked whenever ACKs free buffer space (after the sender has already
+  // used the new window itself); the callback may call enqueue().
+  void set_space_callback(std::function<void()> cb) { space_cb_ = std::move(cb); }
+
+  // --- network side ---
+  void on_ack(const Packet& ack);
+
+  // --- introspection ---
+  FlowId flow() const { return flow_; }
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  bool in_recovery() const { return in_recovery_; }
+  std::int64_t snd_una() const { return snd_una_; }
+  std::int64_t snd_nxt() const { return snd_nxt_; }
+  std::int64_t snd_max() const { return snd_max_; }
+  // Segments enqueued and not yet cumulatively acknowledged.
+  std::size_t buffered() const { return segments_.size(); }
+  SimTime current_rto() const;
+  const TcpSenderStats& stats() const { return stats_; }
+  const TcpConfig& config() const { return config_; }
+
+  // Reset cwnd after an application idle period (slow-start restart); used
+  // by the HTTP background source between transfers.
+  void idle_restart();
+
+ private:
+  struct Segment {
+    std::int64_t app_tag;
+    std::uint32_t times_sent = 0;
+  };
+
+  Segment& seg(std::int64_t seq) {
+    return segments_[static_cast<std::size_t>(seq - snd_una_)];
+  }
+  std::int64_t enq_end() const {
+    return snd_una_ + static_cast<std::int64_t>(segments_.size());
+  }
+
+  void try_send();
+  void emit(std::int64_t seq);
+  void transmit(const Packet& p);
+  void open_cwnd(std::int64_t newly_acked);
+  void enter_fast_recovery();
+  void on_rto();
+  void arm_rto();
+  void rtt_sample(SimTime sample);
+
+  Scheduler& sched_;
+  FlowId flow_;
+  TcpConfig config_;
+  PacketHandler out_;
+  std::function<void()> space_cb_;
+
+  std::deque<Segment> segments_;  // front = snd_una_
+  std::int64_t snd_una_ = 0;
+  std::int64_t snd_nxt_ = 0;
+  std::int64_t snd_max_ = 0;
+
+  double cwnd_;
+  double ssthresh_;
+  std::uint32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;
+
+  // Jacobson/Karn estimator state (seconds).
+  bool rtt_valid_ = false;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  std::uint32_t backoff_ = 1;
+  bool timing_ = false;
+  std::int64_t rtt_seq_ = -1;
+  SimTime rtt_ts_ = SimTime::zero();
+  EventHandle rtx_timer_;
+
+  Rng jitter_rng_;
+  SimTime last_emission_ = SimTime::zero();  // keeps jittered sends FIFO
+
+  TcpSenderStats stats_;
+};
+
+}  // namespace dmp

@@ -1,0 +1,66 @@
+#include "tcp/sink.hpp"
+
+namespace dmp {
+
+TcpSink::TcpSink(Scheduler& sched, FlowId flow, TcpConfig config,
+                 PacketHandler ack_out)
+    : sched_(sched), flow_(flow), config_(config), ack_out_(std::move(ack_out)) {}
+
+void TcpSink::on_data(const Packet& p) {
+  ++segments_received_;
+
+  if (p.seq == rcv_nxt_) {
+    const bool filled_gap = !reorder_buffer_.empty();
+    if (deliver_) deliver_(p.app_tag, sched_.now());
+    ++rcv_nxt_;
+    // Release any buffered segments that are now in order.
+    auto it = reorder_buffer_.begin();
+    while (it != reorder_buffer_.end() && it->first == rcv_nxt_) {
+      if (deliver_) deliver_(it->second, sched_.now());
+      ++rcv_nxt_;
+      it = reorder_buffer_.erase(it);
+    }
+
+    if (!config_.delayed_ack || filled_gap) {
+      send_ack();
+    } else if (ack_pending_) {
+      send_ack();  // every second in-order segment
+    } else {
+      ack_pending_ = true;
+      schedule_delack();
+    }
+    return;
+  }
+
+  if (p.seq > rcv_nxt_) {
+    ++out_of_order_segments_;
+    reorder_buffer_.emplace(p.seq, p.app_tag);
+    send_ack();  // duplicate ACK, immediately
+    return;
+  }
+
+  // Segment below rcv_nxt_: spurious retransmission.
+  ++duplicate_segments_;
+  send_ack();
+}
+
+void TcpSink::send_ack() {
+  ack_pending_ = false;
+  delack_timer_.cancel();
+  Packet ack;
+  ack.flow = flow_;
+  ack.kind = PacketKind::kAck;
+  ack.seq = rcv_nxt_;
+  ack.size_bytes = kAckPacketBytes;
+  ack.injected = sched_.now();
+  ack_out_(ack);
+}
+
+void TcpSink::schedule_delack() {
+  delack_timer_.cancel();
+  delack_timer_ = sched_.schedule_after(config_.delack_timeout, [this] {
+    if (ack_pending_) send_ack();
+  });
+}
+
+}  // namespace dmp

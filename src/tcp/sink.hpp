@@ -1,0 +1,54 @@
+// TCP receiver: reassembles segments, delivers app packets in order, and
+// generates cumulative ACKs with the standard delayed-ACK policy (ack every
+// second segment or after 100 ms; immediate duplicate ACKs on out-of-order
+// arrivals; immediate ACK when a retransmission fills a gap).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_config.hpp"
+
+namespace dmp {
+
+class TcpSink {
+ public:
+  // `deliver` receives (app_tag, arrival_time) for each segment the moment
+  // TCP releases it in order to the application.
+  using DeliverFn = std::function<void(std::int64_t app_tag, SimTime when)>;
+
+  TcpSink(Scheduler& sched, FlowId flow, TcpConfig config,
+          PacketHandler ack_out);
+
+  void set_deliver_callback(DeliverFn fn) { deliver_ = std::move(fn); }
+  void on_data(const Packet& p);
+
+  std::int64_t rcv_nxt() const { return rcv_nxt_; }
+  std::uint64_t segments_received() const { return segments_received_; }
+  std::uint64_t duplicate_segments() const { return duplicate_segments_; }
+  std::uint64_t out_of_order_segments() const { return out_of_order_segments_; }
+
+ private:
+  void send_ack();
+  void schedule_delack();
+
+  Scheduler& sched_;
+  FlowId flow_;
+  TcpConfig config_;
+  PacketHandler ack_out_;
+  DeliverFn deliver_;
+
+  std::int64_t rcv_nxt_ = 0;
+  std::map<std::int64_t, std::int64_t> reorder_buffer_;  // seq -> app_tag
+  bool ack_pending_ = false;
+  EventHandle delack_timer_;
+
+  std::uint64_t segments_received_ = 0;
+  std::uint64_t duplicate_segments_ = 0;
+  std::uint64_t out_of_order_segments_ = 0;
+};
+
+}  // namespace dmp

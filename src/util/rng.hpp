@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** seeded via SplitMix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-identical across standard-library
+// implementations, which keeps every experiment reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dmp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derive an independent child stream (for per-flow / per-module RNGs).
+  Rng fork();
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  // Bounded Pareto with shape `alpha` and scale `xm` (minimum value),
+  // truncated at `cap` to keep background-traffic object sizes sane.
+  double pareto(double alpha, double xm, double cap);
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Sample an index from an unnormalized weight array.
+  std::size_t weighted_index(const double* weights, std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace dmp

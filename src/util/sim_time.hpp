@@ -1,0 +1,60 @@
+// Simulation time as a strong integer type.
+//
+// All simulator components agree on a single clock representation:
+// a signed 64-bit count of nanoseconds.  Integer time keeps event ordering
+// exact and runs reproducible across platforms; the range (+/- ~292 years)
+// is far beyond any simulation horizon used here.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace dmp {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  // Named constructors; the unit is always explicit at the call site.
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime{n}; }
+  static constexpr SimTime micros(std::int64_t u) { return SimTime{u * 1000}; }
+  static constexpr SimTime millis(std::int64_t m) { return SimTime{m * 1'000'000}; }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime{ns_ / k}; }
+
+  // Scaling by a real factor (e.g. RTO backoff); rounds toward zero.
+  constexpr SimTime scaled(double f) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t n) : ns_{n} {}
+  std::int64_t ns_ = 0;
+};
+
+// Transmission (serialization) time of `bytes` at `bits_per_second`.
+constexpr SimTime transmission_time(std::int64_t bytes, double bits_per_second) {
+  return SimTime::seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace dmp

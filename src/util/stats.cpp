@@ -1,0 +1,153 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmp {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sum() const { return mean_ * static_cast<double>(n_); }
+
+namespace {
+
+// Abridged two-sided t-tables; beyond 30 dof the normal quantile is used.
+constexpr double kT95[] = {0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447,
+                           2.365, 2.306,  2.262, 2.228, 2.201, 2.179, 2.160,
+                           2.145, 2.131,  2.120, 2.110, 2.101, 2.093, 2.086,
+                           2.080, 2.074,  2.069, 2.064, 2.060, 2.056, 2.052,
+                           2.048, 2.045,  2.042};
+constexpr double kT90[] = {0,     6.314, 2.920, 2.353, 2.132, 2.015, 1.943,
+                           1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+                           1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+                           1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+                           1.701, 1.699, 1.697};
+constexpr double kT99[] = {0,     63.657, 9.925, 5.841, 4.604, 4.032, 3.707,
+                           3.499, 3.355,  3.250, 3.169, 3.106, 3.055, 3.012,
+                           2.977, 2.947,  2.921, 2.898, 2.878, 2.861, 2.845,
+                           2.831, 2.819,  2.807, 2.797, 2.787, 2.779, 2.771,
+                           2.763, 2.756,  2.750};
+
+}  // namespace
+
+double student_t_critical(double confidence, std::size_t dof) {
+  if (dof == 0) return 0.0;
+  const double* table = nullptr;
+  double asymptote = 0.0;
+  if (confidence >= 0.985) {
+    table = kT99;
+    asymptote = 2.576;
+  } else if (confidence >= 0.925) {
+    table = kT95;
+    asymptote = 1.960;
+  } else {
+    table = kT90;
+    asymptote = 1.645;
+  }
+  return dof <= 30 ? table[dof] : asymptote;
+}
+
+ConfidenceInterval confidence_interval(const std::vector<double>& samples,
+                                       double confidence) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  ConfidenceInterval ci;
+  ci.mean = s.mean();
+  if (s.count() >= 2) {
+    const double t = student_t_critical(confidence, s.count() - 1);
+    ci.half_width = t * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+  }
+  return ci;
+}
+
+BatchMeans::BatchMeans(std::size_t num_batches)
+    : batch_target_(256), num_batches_(std::max<std::size_t>(num_batches, 2)) {}
+
+void BatchMeans::add(double x) {
+  ++total_n_;
+  total_sum_ += x;
+  batch_sum_ += x;
+  if (++in_batch_ >= batch_target_) close_batch();
+}
+
+void BatchMeans::close_batch() {
+  batch_means_.push_back(batch_sum_ / static_cast<double>(in_batch_));
+  batch_sum_ = 0.0;
+  in_batch_ = 0;
+  if (batch_means_.size() >= 2 * num_batches_) {
+    // Pairwise-merge batches and double the target so the number of
+    // retained batches stays bounded as the run grows.
+    std::vector<double> merged;
+    merged.reserve(num_batches_);
+    for (std::size_t i = 0; i + 1 < batch_means_.size(); i += 2) {
+      merged.push_back(0.5 * (batch_means_[i] + batch_means_[i + 1]));
+    }
+    batch_means_ = std::move(merged);
+    batch_target_ *= 2;
+  }
+}
+
+double BatchMeans::mean() const {
+  return total_n_ == 0 ? 0.0 : total_sum_ / static_cast<double>(total_n_);
+}
+
+ConfidenceInterval BatchMeans::interval(double confidence) const {
+  ConfidenceInterval ci;
+  ci.mean = mean();
+  if (batch_means_.size() >= 2) {
+    RunningStats s;
+    for (double b : batch_means_) s.add(b);
+    const double t = student_t_critical(confidence, s.count() - 1);
+    ci.half_width = t * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+  }
+  return ci;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument{"quantile of empty sample"};
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace dmp

@@ -1,0 +1,80 @@
+// Streaming statistics: Welford accumulators, Student-t confidence
+// intervals over independent replications, and batch-means intervals for
+// correlated within-run samples (late-packet indicators are bursty).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmp {
+
+// Single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  // Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Two-sided Student-t critical value at the given confidence level
+// (supported: 0.90, 0.95, 0.99) with `dof` degrees of freedom.
+double student_t_critical(double confidence, std::size_t dof);
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  bool contains(double x) const { return x >= lo() && x <= hi(); }
+};
+
+// CI over independent replications (one sample per run).
+ConfidenceInterval confidence_interval(const std::vector<double>& samples,
+                                       double confidence = 0.95);
+
+// Batch-means estimator for the mean of a correlated 0/1 (or real) series.
+// Samples are folded into `num_batches` consecutive batches; the CI is a
+// t-interval over the batch averages.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t num_batches = 32);
+
+  void add(double x);
+  std::size_t count() const { return total_n_; }
+  double mean() const;
+  // CI over completed batches; falls back to a degenerate interval when
+  // fewer than two batches have completed.
+  ConfidenceInterval interval(double confidence = 0.95) const;
+
+ private:
+  void close_batch();
+
+  std::size_t batch_target_;  // samples per batch before it closes (doubles over time)
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::size_t total_n_ = 0;
+  double total_sum_ = 0.0;
+  std::size_t num_batches_;
+  std::vector<double> batch_means_;
+};
+
+// Quantile of a sample (linear interpolation); sorts a copy.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace dmp

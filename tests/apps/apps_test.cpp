@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "apps/background.hpp"
+#include "apps/ftp_source.hpp"
+#include "apps/http_source.hpp"
+#include "net/topology.hpp"
+#include "tcp/connection.hpp"
+
+namespace dmp {
+namespace {
+
+TEST(Table1, ConfigurationsMatchThePaper) {
+  const auto c1 = table1_config(1);
+  EXPECT_EQ(c1.ftp_flows, 9u);
+  EXPECT_EQ(c1.http_flows, 40u);
+  EXPECT_EQ(c1.prop_delay, SimTime::millis(40));
+  EXPECT_DOUBLE_EQ(c1.bandwidth_bps, 3.7e6);
+  EXPECT_EQ(c1.buffer_packets, 50u);
+
+  const auto c2 = table1_config(2);
+  EXPECT_EQ(c2.prop_delay, SimTime::millis(1));
+  EXPECT_DOUBLE_EQ(c2.bandwidth_bps, 3.7e6);
+
+  const auto c3 = table1_config(3);
+  EXPECT_EQ(c3.ftp_flows, 19u);
+  EXPECT_DOUBLE_EQ(c3.bandwidth_bps, 5.0e6);
+
+  const auto c4 = table1_config(4);
+  EXPECT_EQ(c4.ftp_flows, 5u);
+  EXPECT_EQ(c4.http_flows, 20u);
+  EXPECT_EQ(c4.buffer_packets, 30u);
+
+  EXPECT_THROW(table1_config(0), std::invalid_argument);
+  EXPECT_THROW(table1_config(5), std::invalid_argument);
+}
+
+TEST(FtpSource, KeepsSenderBufferFull) {
+  Scheduler sched;
+  DumbbellPath path(sched, BottleneckConfig{2e6, SimTime::millis(10), 50});
+  auto conn = make_connection(sched, 1, path, TcpConfig{});
+  conn.sink->set_deliver_callback([](std::int64_t, SimTime) {});
+  FtpSource ftp(*conn.sender);
+  EXPECT_EQ(conn.sender->space(), 0u);  // filled immediately
+  sched.run_until(SimTime::seconds(20));
+  EXPECT_EQ(conn.sender->space(), 0u);  // refilled after every ack
+  EXPECT_GT(ftp.packets_offered(), 100u);
+}
+
+TEST(HttpSource, AlternatesTransfersAndThinkTimes) {
+  Scheduler sched;
+  DumbbellPath path(sched, BottleneckConfig{10e6, SimTime::millis(5), 100});
+  auto conn = make_connection(sched, 1, path, TcpConfig{});
+  conn.sink->set_deliver_callback([](std::int64_t, SimTime) {});
+  HttpSourceConfig config;
+  config.mean_think_time_s = 0.5;
+  config.start_jitter_s = 0.1;
+  HttpSource http(sched, *conn.sender, config, Rng(1));
+  sched.run_until(SimTime::seconds(120));
+  // Over 2 minutes with sub-second think times, many objects complete.
+  EXPECT_GT(http.objects_completed(), 20u);
+  EXPECT_GT(http.packets_offered(), http.objects_completed());
+}
+
+TEST(HttpSource, ObjectSizesAreHeavyTailedButBounded) {
+  Scheduler sched;
+  DumbbellPath path(sched, BottleneckConfig{100e6, SimTime::millis(1), 1000});
+  auto conn = make_connection(sched, 1, path, TcpConfig{});
+  conn.sink->set_deliver_callback([](std::int64_t, SimTime) {});
+  HttpSourceConfig config;
+  config.mean_think_time_s = 0.05;
+  config.start_jitter_s = 0.01;
+  config.max_object_packets = 50.0;
+  HttpSource http(sched, *conn.sender, config, Rng(2));
+  sched.run_until(SimTime::seconds(60));
+  ASSERT_GT(http.objects_completed(), 50u);
+  const double mean_size = static_cast<double>(http.packets_offered()) /
+                           static_cast<double>(http.objects_completed());
+  EXPECT_GT(mean_size, config.min_object_packets);
+  EXPECT_LT(mean_size, config.max_object_packets);
+}
+
+TEST(BackgroundTraffic, LoadsTheBottleneck) {
+  Scheduler sched;
+  const auto config = table1_config(4);  // smallest population: fastest test
+  DumbbellPath path(sched, config.bottleneck());
+  BackgroundTraffic bg(sched, path, config, 1000, Rng(3));
+  EXPECT_EQ(bg.flow_count(), config.ftp_flows + config.http_flows);
+  sched.run_until(SimTime::seconds(30));
+  // FTP flows alone must drive the bottleneck to sustained losses.
+  EXPECT_GT(path.bottleneck().total_drops(), 0u);
+  EXPECT_GT(path.bottleneck().utilization(SimTime::seconds(30)), 0.7);
+}
+
+}  // namespace
+}  // namespace dmp

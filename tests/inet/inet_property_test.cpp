@@ -1,0 +1,110 @@
+// Property tests for the socket layer: framing under randomized chunking,
+// server early stop, and exactly-once delivery across parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "inet/client.hpp"
+#include "inet/server.hpp"
+#include "util/rng.hpp"
+
+namespace dmp::inet {
+namespace {
+
+class FramingChunkSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FramingChunkSweep, RandomChunkingPreservesEveryFrame) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t frame_bytes = 80;
+  const std::uint64_t frames = 500;
+  std::vector<unsigned char> wire;
+  for (std::uint64_t n = 0; n < frames; ++n) {
+    std::vector<unsigned char> frame(frame_bytes, 0xAB);
+    encode_frame_header(Frame{n, n * 7 + 1}, frame.data());
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+
+  FrameParser parser(frame_bytes);
+  std::vector<Frame> out;
+  std::size_t offset = 0;
+  while (offset < wire.size()) {
+    const std::size_t len = std::min<std::size_t>(
+        1 + rng.uniform_int(3 * frame_bytes), wire.size() - offset);
+    parser.feed(wire.data() + offset, len,
+                [&](const Frame& f) { out.push_back(f); });
+    offset += len;
+  }
+  ASSERT_EQ(out.size(), frames);
+  for (std::uint64_t n = 0; n < frames; ++n) {
+    ASSERT_EQ(out[n].packet_number, n);
+    ASSERT_EQ(out[n].generated_ns, n * 7 + 1);
+  }
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSeeds, FramingChunkSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(InetServer, RequestStopEndsALongStreamEarly) {
+  ServerConfig cfg;
+  cfg.num_paths = 1;
+  cfg.mu_pps = 100.0;
+  cfg.duration_s = 3600.0;  // would run an hour without the stop
+  DmpInetServer server(cfg);
+
+  ClientConfig ccfg;
+  ccfg.port = server.port();
+  ccfg.num_paths = 1;
+  ccfg.mu_pps = cfg.mu_pps;
+
+  auto server_future =
+      std::async(std::launch::async, [&server] { return server.run(); });
+  std::thread stopper([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    server.request_stop();
+  });
+  DmpInetClient client(ccfg);
+  const auto report = client.run();
+  const auto stats = server_future.get();
+  stopper.join();
+
+  EXPECT_LT(stats.packets_generated, 360'000);
+  EXPECT_GT(report.frames_received, 0);
+  EXPECT_LE(report.frames_received, stats.packets_generated);
+}
+
+class InetPathCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InetPathCountSweep, ExactlyOnceForAnyK) {
+  ServerConfig cfg;
+  cfg.num_paths = static_cast<std::size_t>(GetParam());
+  cfg.mu_pps = 400.0;
+  cfg.duration_s = 1.0;
+  DmpInetServer server(cfg);
+  ClientConfig ccfg;
+  ccfg.port = server.port();
+  ccfg.num_paths = cfg.num_paths;
+  ccfg.mu_pps = cfg.mu_pps;
+
+  auto server_future =
+      std::async(std::launch::async, [&server] { return server.run(); });
+  DmpInetClient client(ccfg);
+  const auto report = client.run();
+  const auto stats = server_future.get();
+
+  ASSERT_EQ(report.frames_received, stats.packets_generated);
+  std::vector<bool> seen(static_cast<std::size_t>(stats.packets_generated),
+                         false);
+  for (const auto& e : report.trace.entries()) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(e.packet_number)]);
+    seen[static_cast<std::size_t>(e.packet_number)] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PathCounts, InetPathCountSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dmp::inet

@@ -1,0 +1,76 @@
+#include "model/alternating.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmp {
+namespace {
+
+AlternatingScenario base(double x) {
+  AlternatingScenario s;
+  s.mu_pps = 25.0;
+  s.period_s = 20.0;  // 10 s up, 10 s down (the paper: "period of 10 seconds")
+  s.tau_s = 5.0;
+  s.x_pps = x;
+  return s;
+}
+
+TEST(Alternating, InPhaseEqualsSinglePath) {
+  // x + (2mu - x) active together is the same capacity profile as the
+  // single path; the fluid model must agree exactly.
+  for (double x : {5.0, 12.5, 25.0}) {
+    const auto r = alternating_late_fractions(base(x));
+    EXPECT_NEAR(r.f_dmp_in_phase, r.f_single, 1e-9) << "x = " << x;
+  }
+}
+
+TEST(Alternating, AntiPhaseNeverWorseThanSinglePath) {
+  for (double x : {2.5, 5.0, 10.0, 15.0, 20.0, 25.0}) {
+    const auto r = alternating_late_fractions(base(x));
+    EXPECT_LE(r.f_dmp_anti_phase, r.f_single + 1e-9) << "x = " << x;
+  }
+}
+
+TEST(Alternating, AverageDmpBeatsSinglePathForAllX) {
+  // The paper's Section-7.3 claim: for tau = 5 s and any x in (0, mu],
+  // the average DMP late fraction is lower than single path.
+  for (double x = 2.5; x <= 25.0; x += 2.5) {
+    const auto r = alternating_late_fractions(base(x));
+    EXPECT_LT(r.f_dmp_average, r.f_single + 1e-9) << "x = " << x;
+    // And strictly better whenever the anti-phase case helps.
+    EXPECT_LE(r.f_dmp_anti_phase, r.f_dmp_in_phase + 1e-9);
+  }
+}
+
+TEST(Alternating, BalancedSplitEliminatesLateness) {
+  // x = mu: anti-phase paths deliver mu in every half-period — the client
+  // never starves once playback starts mu*tau packets behind.
+  const auto r = alternating_late_fractions(base(25.0));
+  EXPECT_NEAR(r.f_dmp_anti_phase, 0.0, 1e-3);
+  EXPECT_GT(r.f_single, 0.0);
+}
+
+TEST(Alternating, SinglePathLateFractionMatchesHandAnalysis) {
+  // Single path: 10 s at 2mu, 10 s outage; tau = 5 s.  Arrivals can never
+  // exceed generation (live source), so the lead A - B is capped at
+  // mu*tau = 5mu, reached exactly at the end of each on-phase.  The lead
+  // then falls at rate mu for the 10 s outage (to -5mu) and recovers at
+  // rate mu during the next on-phase: the client is behind for the second
+  // half of every outage and the first half of every on-phase —
+  // f_single = 1/2.
+  const auto r = alternating_late_fractions(base(12.5));
+  EXPECT_NEAR(r.f_single, 0.50, 0.02);
+}
+
+TEST(Alternating, ValidatesInput) {
+  auto s = base(25.0);
+  s.x_pps = 0.0;
+  EXPECT_THROW(alternating_late_fractions(s), std::invalid_argument);
+  s = base(30.0);  // x > mu
+  EXPECT_THROW(alternating_late_fractions(s), std::invalid_argument);
+  s = base(10.0);
+  s.mu_pps = -1.0;
+  EXPECT_THROW(alternating_late_fractions(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmp

@@ -1,0 +1,170 @@
+// The composed DMP model: exact product-chain solution vs. the Monte-Carlo
+// engine, plus structural properties of the late-packet fraction.
+#include "model/composed_chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmp {
+namespace {
+
+// Small per-flow chain so the exact product stays tractable.
+TcpChainParams tiny_flow(double loss = 0.05) {
+  TcpChainParams p;
+  p.loss_rate = loss;
+  p.rtt_s = 0.2;
+  p.to_ratio = 2.0;
+  p.wmax = 6;
+  p.max_backoff = 3;
+  return p;
+}
+
+TEST(ComposedExact, MarginalIsAProperDistribution) {
+  ComposedParams params;
+  params.flows = {tiny_flow()};
+  params.mu_pps = 20.0;
+  params.tau_s = 1.0;  // Nmax = 20
+  const ComposedChainExact exact(params);
+  double total = 0.0;
+  for (double v : exact.n_marginal()) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8);
+  EXPECT_GT(exact.late_fraction(), 0.0);
+  EXPECT_LT(exact.late_fraction(), 1.0);
+}
+
+TEST(ComposedExact, LateFractionDecreasesWithTau) {
+  ComposedParams params;
+  params.flows = {tiny_flow()};
+  params.mu_pps = 20.0;
+  double prev = 1.0;
+  for (double tau : {0.25, 0.5, 1.0, 2.0}) {
+    params.tau_s = tau;
+    const double f = ComposedChainExact(params).late_fraction();
+    EXPECT_LT(f, prev) << "tau " << tau;
+    prev = f;
+  }
+}
+
+TEST(ComposedExact, LateFractionDecreasesWithMoreHeadroom) {
+  // Lower mu (same paths) -> higher sigma_a/mu -> fewer late packets.
+  ComposedParams params;
+  params.flows = {tiny_flow(), tiny_flow()};
+  params.tau_s = 1.0;
+  params.mu_pps = 30.0;
+  const double f_tight = ComposedChainExact(params).late_fraction();
+  params.mu_pps = 20.0;
+  params.tau_s = 1.5;  // keep Nmax = 30 identical
+  const double f_loose = ComposedChainExact(params).late_fraction();
+  EXPECT_LT(f_loose, f_tight);
+}
+
+TEST(ComposedExactVsMonteCarlo, AgreeOnSingleFlow) {
+  ComposedParams params;
+  params.flows = {tiny_flow()};
+  params.mu_pps = 15.0;
+  params.tau_s = 1.0;
+  const double exact = ComposedChainExact(params).late_fraction();
+
+  DmpModelMonteCarlo mc(params, 99);
+  const auto result = mc.run(400'000, 40'000);
+  EXPECT_GT(exact, result.ci.lo() - 0.01);
+  EXPECT_LT(exact, result.ci.hi() + 0.01);
+  EXPECT_NEAR(result.late_fraction, exact, 0.15 * exact + 0.002);
+}
+
+TEST(ComposedExactVsMonteCarlo, AgreeOnTwoFlows) {
+  ComposedParams params;
+  params.flows = {tiny_flow(0.05), tiny_flow(0.08)};
+  params.mu_pps = 25.0;
+  params.tau_s = 0.8;  // Nmax = 20
+  const double exact = ComposedChainExact(params).late_fraction();
+
+  DmpModelMonteCarlo mc(params, 7);
+  const auto result = mc.run(400'000, 40'000);
+  EXPECT_NEAR(result.late_fraction, exact, 0.2 * exact + 0.002);
+}
+
+TEST(MonteCarlo, HigherThroughputFlowContributesMore) {
+  // The model-side analogue of DMP's dynamic split: the flow with lower
+  // loss (higher sigma) must deliver a larger share.
+  ComposedParams params;
+  params.flows = {tiny_flow(0.02), tiny_flow(0.10)};
+  params.mu_pps = 30.0;
+  params.tau_s = 2.0;
+  DmpModelMonteCarlo mc(params, 3);
+  const auto result = mc.run(300'000, 30'000);
+  ASSERT_EQ(result.flow_share.size(), 2u);
+  EXPECT_GT(result.flow_share[0], result.flow_share[1]);
+  EXPECT_NEAR(result.flow_share[0] + result.flow_share[1], 1.0, 1e-9);
+}
+
+TEST(MonteCarlo, EarlyPacketsStayWithinNmax) {
+  ComposedParams params;
+  params.flows = {tiny_flow()};
+  params.mu_pps = 10.0;
+  params.tau_s = 2.0;  // Nmax = 20
+  DmpModelMonteCarlo mc(params, 5);
+  const auto result = mc.run(100'000, 10'000);
+  EXPECT_GE(result.mean_early_packets, 0.0);
+  EXPECT_LE(result.mean_early_packets, 20.0);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  ComposedParams params;
+  params.flows = {tiny_flow()};
+  params.mu_pps = 15.0;
+  params.tau_s = 1.0;
+  const auto a = DmpModelMonteCarlo(params, 42).run(100'000, 10'000);
+  const auto b = DmpModelMonteCarlo(params, 42).run(100'000, 10'000);
+  EXPECT_EQ(a.late, b.late);
+  EXPECT_DOUBLE_EQ(a.late_fraction, b.late_fraction);
+}
+
+TEST(MonteCarlo, RunUntilDecidesStopsEarlyOnClearCases) {
+  // Hopeless configuration: mu far beyond capacity, f ~ large.
+  ComposedParams params;
+  params.flows = {tiny_flow(0.2)};
+  params.mu_pps = 100.0;
+  params.tau_s = 0.5;
+  DmpModelMonteCarlo mc(params, 1);
+  const auto result = mc.run_until_decides(1e-4, 100'000, 10'000'000);
+  EXPECT_LT(result.consumptions, 1'000'000u);  // decided fast
+  EXPECT_GT(result.late_fraction, 0.1);
+}
+
+TEST(MonteCarlo, TwoIdenticalPathsSplitEvenly) {
+  ComposedParams params;
+  params.flows = {tiny_flow(), tiny_flow()};
+  params.mu_pps = 25.0;
+  params.tau_s = 2.0;
+  DmpModelMonteCarlo mc(params, 11);
+  const auto result = mc.run(300'000, 30'000);
+  EXPECT_NEAR(result.flow_share[0], 0.5, 0.03);
+}
+
+TEST(ComposedParams, NmaxRoundsMuTau) {
+  ComposedParams params;
+  params.mu_pps = 25.0;
+  params.tau_s = 4.0;
+  EXPECT_EQ(params.nmax(), 100);
+  params.tau_s = 0.01;
+  EXPECT_EQ(params.nmax(), 0);
+  params.flows = {tiny_flow()};
+  EXPECT_THROW(ComposedChainExact{params}, std::invalid_argument);
+  EXPECT_THROW((DmpModelMonteCarlo{params, 1}), std::invalid_argument);
+}
+
+TEST(ComposedExact, RejectsOversizedProducts) {
+  ComposedParams params;
+  TcpChainParams big;
+  big.wmax = 24;
+  params.flows = {big, big};
+  params.mu_pps = 100.0;
+  params.tau_s = 10.0;  // Nmax = 1000: product chain far beyond the cap
+  EXPECT_THROW(ComposedChainExact{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmp

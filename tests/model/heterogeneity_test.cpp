@@ -1,0 +1,79 @@
+#include "model/heterogeneity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmp {
+namespace {
+
+TcpChainParams homogeneous() {
+  TcpChainParams p;
+  p.loss_rate = 0.02;
+  p.rtt_s = 0.15;
+  p.to_ratio = 4.0;
+  p.wmax = 20;
+  return p;
+}
+
+TEST(Heterogeneity, RttCaseMatchesSection72Formulas) {
+  const auto pair = heterogeneous_pair(homogeneous(),
+                                       HeterogeneityCase::kRtt, 2.0);
+  EXPECT_DOUBLE_EQ(pair.flows[0].rtt_s, 0.30);
+  EXPECT_NEAR(pair.flows[1].rtt_s, 0.15 / 1.5, 1e-12);
+  // Loss and TO unchanged in Case 1.
+  EXPECT_DOUBLE_EQ(pair.flows[0].loss_rate, 0.02);
+  EXPECT_DOUBLE_EQ(pair.flows[1].loss_rate, 0.02);
+}
+
+TEST(Heterogeneity, RttCasePreservesAggregateThroughput) {
+  const auto homo = homogeneous_pair(homogeneous());
+  for (double gamma : {1.5, 2.0}) {
+    const auto hetero = heterogeneous_pair(homogeneous(),
+                                           HeterogeneityCase::kRtt, gamma);
+    EXPECT_NEAR(hetero.aggregate_throughput_pps, homo.aggregate_throughput_pps,
+                0.05 * homo.aggregate_throughput_pps)
+        << "gamma " << gamma;
+  }
+}
+
+TEST(Heterogeneity, LossCaseSetsGammaPonFirstPath) {
+  const auto pair = heterogeneous_pair(homogeneous(),
+                                       HeterogeneityCase::kLoss, 2.0);
+  EXPECT_DOUBLE_EQ(pair.flows[0].loss_rate, 0.04);
+  // Second path must be cleaner to compensate.
+  EXPECT_LT(pair.flows[1].loss_rate, 0.02);
+  EXPECT_GT(pair.flows[1].loss_rate, 0.0);
+  // RTTs unchanged in Case 2.
+  EXPECT_DOUBLE_EQ(pair.flows[0].rtt_s, 0.15);
+  EXPECT_DOUBLE_EQ(pair.flows[1].rtt_s, 0.15);
+}
+
+TEST(Heterogeneity, LossCasePreservesAggregateThroughput) {
+  const auto homo = homogeneous_pair(homogeneous());
+  for (double gamma : {1.5, 2.0}) {
+    const auto hetero = heterogeneous_pair(homogeneous(),
+                                           HeterogeneityCase::kLoss, gamma);
+    EXPECT_NEAR(hetero.aggregate_throughput_pps, homo.aggregate_throughput_pps,
+                0.05 * homo.aggregate_throughput_pps)
+        << "gamma " << gamma;
+  }
+}
+
+TEST(Heterogeneity, RejectsGammaBelowOne) {
+  EXPECT_THROW(
+      heterogeneous_pair(homogeneous(), HeterogeneityCase::kRtt, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      heterogeneous_pair(homogeneous(), HeterogeneityCase::kLoss, 0.5),
+      std::invalid_argument);
+}
+
+TEST(Heterogeneity, RejectsExtremeLossGamma) {
+  auto base = homogeneous();
+  base.loss_rate = 0.6;
+  EXPECT_THROW(
+      heterogeneous_pair(base, HeterogeneityCase::kLoss, 2.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmp

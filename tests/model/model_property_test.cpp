@@ -1,0 +1,148 @@
+// Property sweeps over the analytical model: chain well-formedness across
+// the paper's whole parameter box, throughput scaling laws, and exact-model
+// monotonicity of the late fraction.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "model/composed_chain.hpp"
+#include "model/tcp_chain.hpp"
+
+namespace dmp {
+namespace {
+
+class ChainParamSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double, int>> {
+};
+
+TEST_P(ChainParamSweep, ChainIsWellFormed) {
+  const auto [p, rtt, to, b] = GetParam();
+  TcpChainParams params;
+  params.loss_rate = p;
+  params.rtt_s = rtt;
+  params.to_ratio = to;
+  params.ack_every = b;
+  const TcpFlowChain chain(params);
+
+  ASSERT_GT(chain.num_states(), 10u);
+  double timeout_states = 0;
+  for (std::uint32_t s = 0; s < chain.num_states(); ++s) {
+    ASSERT_GT(chain.exit_rate(s), 0.0);
+    double rate_sum = 0.0;
+    for (const auto& t : chain.transitions_from(s)) {
+      ASSERT_GT(t.rate, 0.0);
+      ASSERT_LT(t.target, chain.num_states());
+      ASSERT_LE(t.delivered, static_cast<std::uint32_t>(2 * params.wmax));
+      rate_sum += t.rate;
+    }
+    ASSERT_NEAR(rate_sum, chain.exit_rate(s), 1e-9 * rate_sum);
+    timeout_states += chain.is_timeout_state(s);
+  }
+  EXPECT_GT(timeout_states, 0);
+
+  // Stationary distribution is proper and the throughput obeys hard bounds.
+  const auto pi = chain.stationary();
+  double total = 0.0;
+  for (double v : pi) {
+    ASSERT_GE(v, -1e-15);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8);
+
+  const double sigma = chain.achievable_throughput_pps();
+  EXPECT_GT(sigma, 0.0);
+  EXPECT_LE(sigma, params.wmax / params.rtt_s * 1.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperParameterBox, ChainParamSweep,
+    ::testing::Combine(::testing::Values(0.004, 0.02, 0.04, 0.1),
+                       ::testing::Values(0.04, 0.1, 0.3),
+                       ::testing::Values(1.0, 2.0, 4.0),
+                       ::testing::Values(1, 2)));
+
+TEST(ChainScaling, ThroughputIsExactlyInverseInRtt) {
+  // Every chain rate carries a 1/R factor, so sigma(p, R, TO) * R must be
+  // constant — the identity the Section-7 parameter sweeps rely on.
+  TcpChainParams params;
+  params.loss_rate = 0.02;
+  params.to_ratio = 3.0;
+  params.rtt_s = 0.1;
+  const double reference =
+      TcpFlowChain(params).achievable_throughput_pps() * params.rtt_s;
+  for (double rtt : {0.05, 0.2, 0.4, 1.0}) {
+    params.rtt_s = rtt;
+    const double scaled =
+        TcpFlowChain(params).achievable_throughput_pps() * rtt;
+    EXPECT_NEAR(scaled, reference, 1e-6 * reference) << "rtt " << rtt;
+  }
+}
+
+class ExactTauSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExactTauSweep, MoreLossMeansMoreLatePackets) {
+  const double tau = GetParam();
+  ComposedParams params;
+  TcpChainParams flow;
+  flow.rtt_s = 0.2;
+  flow.to_ratio = 2.0;
+  flow.wmax = 6;
+  flow.max_backoff = 3;
+  params.mu_pps = 20.0;
+  params.tau_s = tau;
+  double prev = -1.0;
+  for (double p : {0.02, 0.05, 0.1, 0.2}) {
+    flow.loss_rate = p;
+    params.flows = {flow};
+    const double f = ComposedChainExact(params).late_fraction();
+    EXPECT_GT(f, prev) << "p " << p << " tau " << tau;
+    prev = f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, ExactTauSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+TEST(ExactModel, NMarginalIsMonotoneNearTheCap) {
+  // With sigma_a > mu the chain spends most of its time near N = Nmax;
+  // the marginal must put more mass at the cap than at depletion.
+  ComposedParams params;
+  TcpChainParams flow;
+  flow.loss_rate = 0.02;
+  flow.rtt_s = 0.2;
+  flow.to_ratio = 2.0;
+  flow.wmax = 6;
+  flow.max_backoff = 3;
+  params.flows = {flow};
+  params.mu_pps = 10.0;  // well below sigma ~ 30
+  params.tau_s = 2.0;
+  const ComposedChainExact exact(params);
+  const auto& marginal = exact.n_marginal();
+  EXPECT_GT(marginal.back(), marginal.front() * 10.0);
+}
+
+class McSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(McSeedSweep, MonteCarloTracksExactAcrossSeeds) {
+  ComposedParams params;
+  TcpChainParams flow;
+  flow.loss_rate = 0.06;
+  flow.rtt_s = 0.2;
+  flow.to_ratio = 2.0;
+  flow.wmax = 6;
+  flow.max_backoff = 3;
+  params.flows = {flow};
+  params.mu_pps = 18.0;
+  params.tau_s = 1.0;
+  const double exact = ComposedChainExact(params).late_fraction();
+  DmpModelMonteCarlo mc(params, static_cast<std::uint64_t>(GetParam()));
+  const auto result = mc.run(300'000, 30'000);
+  EXPECT_NEAR(result.late_fraction, exact, 0.25 * exact + 0.003)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace dmp

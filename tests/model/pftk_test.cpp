@@ -1,0 +1,86 @@
+#include "model/pftk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmp {
+namespace {
+
+PftkParams base() {
+  PftkParams p;
+  p.loss_rate = 0.02;
+  p.rtt_s = 0.2;
+  p.rto_s = 0.4;
+  p.wmax = 64.0;
+  p.b = 1.0;
+  return p;
+}
+
+TEST(Pftk, MatchesHandComputedValue) {
+  // p = 0.01, R = 0.1 s, T0 = 0.2 s, b = 1:
+  //   term_fr = 0.1 * sqrt(0.02/3)            = 0.0081650
+  //   q       = min(1, 3*sqrt(0.00375))       = 0.1837117
+  //   term_to = 0.2 * q * 0.01 * (1+32e-4)    = 0.0003686
+  //   B       = 1 / 0.0085336                 = 117.18 pps
+  PftkParams p = base();
+  p.loss_rate = 0.01;
+  p.rtt_s = 0.1;
+  p.rto_s = 0.2;
+  EXPECT_NEAR(pftk_throughput_pps(p), 117.18, 0.5);
+}
+
+TEST(Pftk, SqrtModelIsUpperBound) {
+  for (double loss : {0.004, 0.01, 0.02, 0.04}) {
+    PftkParams p = base();
+    p.loss_rate = loss;
+    EXPECT_LE(pftk_throughput_pps(p), sqrt_model_throughput_pps(p) * 1.0001);
+  }
+}
+
+TEST(Pftk, MonotoneDecreasingInLoss) {
+  double prev = 1e18;
+  for (double loss : {0.001, 0.004, 0.01, 0.04, 0.1, 0.3}) {
+    PftkParams p = base();
+    p.loss_rate = loss;
+    const double t = pftk_throughput_pps(p);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Pftk, WindowLimitApplies) {
+  PftkParams p = base();
+  p.loss_rate = 0.0001;
+  p.wmax = 10.0;
+  EXPECT_DOUBLE_EQ(pftk_throughput_pps(p), 10.0 / p.rtt_s);
+}
+
+TEST(Pftk, DelayedAcksHalveTheSqrtTerm) {
+  PftkParams p1 = base(), p2 = base();
+  p2.b = 2.0;
+  EXPECT_GT(pftk_throughput_pps(p1), pftk_throughput_pps(p2));
+}
+
+TEST(Pftk, InverseRoundTrips) {
+  PftkParams p = base();
+  const double t = pftk_throughput_pps(p);
+  EXPECT_NEAR(pftk_loss_for_throughput(t, p), p.loss_rate, 1e-6);
+}
+
+TEST(Pftk, InverseRejectsBadTargets) {
+  PftkParams p = base();
+  EXPECT_THROW(pftk_loss_for_throughput(-1.0, p), std::invalid_argument);
+  EXPECT_THROW(pftk_loss_for_throughput(p.wmax / p.rtt_s + 1.0, p),
+               std::invalid_argument);
+}
+
+TEST(Pftk, RejectsInvalidParameters) {
+  PftkParams p = base();
+  p.loss_rate = 0.0;
+  EXPECT_THROW(pftk_throughput_pps(p), std::invalid_argument);
+  p = base();
+  p.rtt_s = 0.0;
+  EXPECT_THROW(pftk_throughput_pps(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmp

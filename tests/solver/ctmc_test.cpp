@@ -1,0 +1,114 @@
+#include "solver/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dmp {
+namespace {
+
+// Two-state chain: 0 -> 1 at rate a, 1 -> 0 at rate b; pi = (b, a)/(a+b).
+TEST(Ctmc, TwoStateClosedForm) {
+  CtmcBuilder builder(2);
+  builder.add_transition(0, 1, 3.0);
+  builder.add_transition(1, 0, 1.5);
+  const auto chain = std::move(builder).build();
+  const auto pi = chain.steady_state_gauss_seidel();
+  EXPECT_NEAR(pi[0], 1.5 / 4.5, 1e-10);
+  EXPECT_NEAR(pi[1], 3.0 / 4.5, 1e-10);
+  EXPECT_LT(chain.balance_residual(pi), 1e-10);
+}
+
+// M/M/1/K queue: pi_n proportional to rho^n.
+TEST(Ctmc, Mm1kMatchesClosedForm) {
+  const double lambda = 2.0, mu = 3.0;
+  const int K = 10;
+  CtmcBuilder builder(K + 1);
+  for (int n = 0; n < K; ++n) {
+    builder.add_transition(static_cast<std::uint32_t>(n),
+                           static_cast<std::uint32_t>(n + 1), lambda);
+    builder.add_transition(static_cast<std::uint32_t>(n + 1),
+                           static_cast<std::uint32_t>(n), mu);
+  }
+  const auto pi = std::move(builder).build().steady_state_gauss_seidel();
+
+  const double rho = lambda / mu;
+  double norm = 0.0;
+  for (int n = 0; n <= K; ++n) norm += std::pow(rho, n);
+  for (int n = 0; n <= K; ++n) {
+    EXPECT_NEAR(pi[static_cast<std::size_t>(n)], std::pow(rho, n) / norm, 1e-9)
+        << "state " << n;
+  }
+}
+
+TEST(Ctmc, PowerAndGaussSeidelAgree) {
+  // Random irreducible chain.
+  Rng rng(17);
+  const std::uint32_t n = 40;
+  CtmcBuilder builder(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    builder.add_transition(i, (i + 1) % n, 0.5 + rng.uniform());  // ring: irreducible
+    for (int extra = 0; extra < 3; ++extra) {
+      const auto j = static_cast<std::uint32_t>(rng.uniform_int(n));
+      builder.add_transition(i, j, rng.uniform());
+    }
+  }
+  const auto chain = std::move(builder).build();
+  const auto gs = chain.steady_state_gauss_seidel(1e-13);
+  const auto pw = chain.steady_state_power(1e-13);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(gs[i], pw[i], 1e-7) << "state " << i;
+  }
+}
+
+TEST(Ctmc, DistributionSumsToOne) {
+  CtmcBuilder builder(3);
+  builder.add_transition(0, 1, 1.0);
+  builder.add_transition(1, 2, 2.0);
+  builder.add_transition(2, 0, 3.0);
+  const auto pi = std::move(builder).build().steady_state_gauss_seidel();
+  EXPECT_NEAR(pi[0] + pi[1] + pi[2], 1.0, 1e-12);
+  // Cycle: pi inversely proportional to exit rates.
+  EXPECT_GT(pi[0], pi[1]);
+  EXPECT_GT(pi[1], pi[2]);
+}
+
+TEST(Ctmc, MergesDuplicateEdges) {
+  CtmcBuilder a(2), b(2);
+  a.add_transition(0, 1, 1.0);
+  a.add_transition(0, 1, 1.0);
+  a.add_transition(1, 0, 1.0);
+  b.add_transition(0, 1, 2.0);
+  b.add_transition(1, 0, 1.0);
+  const auto pa = std::move(a).build().steady_state_gauss_seidel();
+  const auto pb = std::move(b).build().steady_state_gauss_seidel();
+  EXPECT_NEAR(pa[0], pb[0], 1e-12);
+}
+
+TEST(Ctmc, IgnoresSelfLoops) {
+  CtmcBuilder builder(2);
+  builder.add_transition(0, 0, 100.0);  // must not affect the result
+  builder.add_transition(0, 1, 1.0);
+  builder.add_transition(1, 0, 1.0);
+  const auto pi = std::move(builder).build().steady_state_gauss_seidel();
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);
+}
+
+TEST(Ctmc, RejectsAbsorbingStates) {
+  CtmcBuilder builder(2);
+  builder.add_transition(0, 1, 1.0);  // state 1 has no exit
+  const auto chain = std::move(builder).build();
+  EXPECT_THROW(chain.steady_state_gauss_seidel(), std::invalid_argument);
+  EXPECT_THROW(chain.steady_state_power(), std::invalid_argument);
+}
+
+TEST(Ctmc, RejectsInvalidTransitions) {
+  CtmcBuilder builder(2);
+  EXPECT_THROW(builder.add_transition(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(builder.add_transition(0, 1, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmp

@@ -1,0 +1,57 @@
+#include "stream/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "stream/dmp_server.hpp"
+#include "tcp/connection.hpp"
+
+namespace dmp {
+namespace {
+
+TEST(StreamClient, CollectsDeliveriesFromAttachedSinks) {
+  Scheduler sched;
+  DumbbellPath p1(sched, BottleneckConfig{2e6, SimTime::millis(10), 50});
+  DumbbellPath p2(sched, BottleneckConfig{2e6, SimTime::millis(10), 50});
+  TcpConfig tcp;
+  auto c1 = make_connection(sched, 1, p1, tcp);
+  auto c2 = make_connection(sched, 2, p2, tcp);
+
+  StreamClient client(50.0, 2);
+  client.attach(0, *c1.sink);
+  client.attach(1, *c2.sink);
+
+  DmpStreamingServer server(sched, 50.0,
+                            {c1.sender.get(), c2.sender.get()},
+                            SimTime::zero(), SimTime::seconds(20));
+  sched.run_until(SimTime::seconds(60));
+
+  EXPECT_EQ(static_cast<std::int64_t>(client.trace().arrivals()),
+            server.packets_generated());
+  EXPECT_EQ(client.num_paths(), 2u);
+  const auto split = client.trace().path_split(2);
+  EXPECT_NEAR(split[0] + split[1], 1.0, 1e-12);
+}
+
+TEST(StreamClient, RejectsOutOfRangePathIndex) {
+  Scheduler sched;
+  DumbbellPath p1(sched, BottleneckConfig{2e6, SimTime::millis(10), 50});
+  auto c1 = make_connection(sched, 1, p1, TcpConfig{});
+  StreamClient client(50.0, 1);
+  EXPECT_THROW(client.attach(1, *c1.sink), std::out_of_range);
+}
+
+TEST(StreamClient, IgnoresNonStreamTags) {
+  Scheduler sched;
+  DumbbellPath p1(sched, BottleneckConfig{2e6, SimTime::millis(10), 50});
+  auto c1 = make_connection(sched, 1, p1, TcpConfig{});
+  StreamClient client(50.0, 1);
+  client.attach(0, *c1.sink);
+  // Background-style traffic carries tag -1: the client must not record it.
+  for (int i = 0; i < 10; ++i) c1.sender->enqueue(-1);
+  sched.run_until(SimTime::seconds(5));
+  EXPECT_EQ(client.trace().arrivals(), 0u);
+}
+
+}  // namespace
+}  // namespace dmp

@@ -1,0 +1,118 @@
+// Randomized trace properties: the late-fraction analyses must satisfy
+// structural identities for any arrival process.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/trace.hpp"
+#include "util/rng.hpp"
+
+namespace dmp {
+namespace {
+
+// Build a random trace: in-order generation, random per-packet delays,
+// delivered in arrival-time order (like the multipath client sees).
+StreamTrace random_trace(double mu, int n, double max_delay_s,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  struct Arrival {
+    std::int64_t number;
+    double at;
+  };
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < n; ++i) {
+    const double gen = static_cast<double>(i) / mu;
+    arrivals.push_back({i, gen + rng.uniform(0.0, max_delay_s)});
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) { return a.at < b.at; });
+  StreamTrace trace(mu);
+  for (const auto& a : arrivals) {
+    trace.record(a.number, SimTime::seconds(a.at),
+                 static_cast<std::uint32_t>(a.number % 2));
+  }
+  return trace;
+}
+
+class TraceSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceSeedSweep, LateFractionsAreProperAndMonotone) {
+  const auto trace =
+      random_trace(25.0, 2000, 6.0, static_cast<std::uint64_t>(GetParam()));
+  double prev_play = 1.1, prev_arr = 1.1;
+  for (double tau = 0.5; tau <= 8.0; tau += 0.5) {
+    const double fp = trace.late_fraction_playback_order(tau, 2000);
+    const double fa = trace.late_fraction_arrival_order(tau, 2000);
+    ASSERT_GE(fp, 0.0);
+    ASSERT_LE(fp, 1.0);
+    ASSERT_GE(fa, 0.0);
+    ASSERT_LE(fa, 1.0);
+    ASSERT_LE(fp, prev_play + 1e-12);  // monotone non-increasing in tau
+    ASSERT_LE(fa, prev_arr + 1e-12);
+    prev_play = fp;
+    prev_arr = fa;
+  }
+  // tau beyond the max delay: nothing can be late under either discipline.
+  EXPECT_DOUBLE_EQ(trace.late_fraction_playback_order(6.1, 2000), 0.0);
+  EXPECT_DOUBLE_EQ(trace.late_fraction_arrival_order(6.1, 2000), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_P(TraceSeedSweep, DisciplinesCoincideWhenLatenessIsClustered) {
+  // The paper's Section-4.1 argument: when late packets come in short
+  // congestion bursts (rather than as large independent per-packet
+  // delays), playing back in arrival order changes the late fraction only
+  // negligibly.  Construct exactly that: mostly-punctual delivery with
+  // occasional multi-second outage bursts.
+  const std::uint64_t seed = 200 + static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  const double mu = 40.0;
+  const int n = 4000;
+  StreamTrace trace(mu);
+  double backlog_until = 0.0;  // outage: packets queue and flush together
+  for (int i = 0; i < n; ++i) {
+    const double gen = static_cast<double>(i) / mu;
+    if (rng.chance(0.001)) backlog_until = gen + rng.uniform(1.0, 3.0);
+    const double at = std::max(gen + 0.05, backlog_until);
+    trace.record(i, SimTime::seconds(at), 0);
+  }
+  for (double tau : {0.5, 1.0, 2.0}) {
+    const double fp = trace.late_fraction_playback_order(tau, n);
+    const double fa = trace.late_fraction_arrival_order(tau, n);
+    // Same order of magnitude — the paper's match criterion.
+    if (fp > 0.001) {
+      EXPECT_GT(fa, 0.1 * fp) << "tau " << tau;
+      EXPECT_LT(fa, 10.0 * fp) << "tau " << tau;
+    }
+  }
+}
+
+TEST(TraceIdentities, InOrderArrivalsMakeBothDisciplinesEqual) {
+  // With strictly in-order arrivals, arrival rank == packet number, so
+  // both analyses see identical deadlines.
+  StreamTrace trace(30.0);
+  Rng rng(9);
+  double at = 0.0;
+  for (int i = 0; i < 800; ++i) {
+    at = std::max(at + 1e-6, i / 30.0 + rng.exponential(0.4));
+    trace.record(i, SimTime::seconds(at), 0);
+  }
+  for (double tau : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(trace.late_fraction_playback_order(tau, 800),
+                trace.late_fraction_arrival_order(tau, 800), 1e-12)
+        << "tau " << tau;
+  }
+}
+
+TEST(TraceIdentities, OutOfOrderFractionZeroForSortedTrace) {
+  StreamTrace trace(10.0);
+  for (int i = 0; i < 100; ++i) {
+    trace.record(i, SimTime::seconds(i / 10.0), 0);
+  }
+  EXPECT_DOUBLE_EQ(trace.out_of_order_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace dmp

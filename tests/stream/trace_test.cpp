@@ -1,0 +1,94 @@
+#include "stream/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmp {
+namespace {
+
+TEST(StreamTrace, GenerationTimesFollowCbr) {
+  StreamTrace t(50.0);
+  EXPECT_DOUBLE_EQ(t.generation_time(0).to_seconds(), 0.0);
+  EXPECT_NEAR(t.generation_time(50).to_seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(t.generation_time(125).to_seconds(), 2.5, 1e-9);
+}
+
+TEST(StreamTrace, NoLatePacketsWhenAllOnTime) {
+  StreamTrace t(10.0);  // playback of packet n at n/10 + tau
+  for (int n = 0; n < 100; ++n) {
+    t.record(n, SimTime::seconds(n / 10.0 + 0.5), 0);  // 0.5 s behind source
+  }
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(1.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(t.late_fraction_arrival_order(1.0, 100), 0.0);
+}
+
+TEST(StreamTrace, AllLateWithZeroStartupDelay) {
+  StreamTrace t(10.0);
+  for (int n = 0; n < 100; ++n) {
+    t.record(n, SimTime::seconds(n / 10.0 + 0.5), 0);
+  }
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(0.1, 100), 1.0);
+}
+
+TEST(StreamTrace, CountsExactlyTheLateOnes) {
+  StreamTrace t(10.0);
+  // Packets 0..9 arrive with delay 0.2 s; packets 10..19 with delay 2 s.
+  for (int n = 0; n < 10; ++n) t.record(n, SimTime::seconds(n / 10.0 + 0.2), 0);
+  for (int n = 10; n < 20; ++n) t.record(n, SimTime::seconds(n / 10.0 + 2.0), 0);
+  // tau = 1 s: first half on time, second half late.
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(1.0, 20), 0.5);
+  // tau = 3 s: everything on time.
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(3.0, 20), 0.0);
+}
+
+TEST(StreamTrace, MissingPacketsCountAsLate) {
+  StreamTrace t(10.0);
+  for (int n = 0; n < 50; ++n) t.record(n, SimTime::seconds(n / 10.0), 0);
+  // 50 more packets were generated but never arrived.
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(5.0, 100), 0.5);
+  EXPECT_DOUBLE_EQ(t.late_fraction_arrival_order(5.0, 100), 0.5);
+}
+
+TEST(StreamTrace, ArrivalOrderMetricIgnoresPacketIdentity) {
+  StreamTrace t(10.0);
+  // Packets arrive swapped in pairs but each arrival is punctual for its
+  // rank: arrival-order playback sees no lateness.
+  for (int n = 0; n < 100; n += 2) {
+    t.record(n + 1, SimTime::seconds(n / 10.0 + 0.01), 0);
+    t.record(n, SimTime::seconds((n + 1) / 10.0 + 0.01), 1);
+  }
+  EXPECT_DOUBLE_EQ(t.late_fraction_arrival_order(0.5, 100), 0.0);
+  EXPECT_GT(t.out_of_order_fraction(), 0.0);
+}
+
+TEST(StreamTrace, PathSplitSumsToOne) {
+  StreamTrace t(10.0);
+  for (int n = 0; n < 30; ++n) t.record(n, SimTime::seconds(n / 10.0), 0);
+  for (int n = 30; n < 40; ++n) t.record(n, SimTime::seconds(n / 10.0), 1);
+  const auto split = t.path_split(2);
+  EXPECT_DOUBLE_EQ(split[0], 0.75);
+  EXPECT_DOUBLE_EQ(split[1], 0.25);
+}
+
+TEST(StreamTrace, LateFractionMonotoneInTau) {
+  StreamTrace t(25.0);
+  // Arrival jitter grows with n: later tau should never increase lateness.
+  for (int n = 0; n < 1000; ++n) {
+    const double jitter = (n % 7) * 0.8;
+    t.record(n, SimTime::seconds(n / 25.0 + jitter), 0);
+  }
+  double prev = 1.1;
+  for (double tau = 0.0; tau <= 8.0; tau += 0.5) {
+    const double f = t.late_fraction_playback_order(tau, 1000);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.0);
+}
+
+TEST(StreamTrace, RejectsNonPositiveMu) {
+  EXPECT_THROW(StreamTrace(0.0), std::invalid_argument);
+  EXPECT_THROW(StreamTrace(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmp

@@ -1,0 +1,117 @@
+#include "tcp/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmp {
+namespace {
+
+struct SinkHarness {
+  explicit SinkHarness(TcpConfig config = {})
+      : sink(sched, 1, config, [this](const Packet& p) { acks.push_back(p); }) {
+    sink.set_deliver_callback(
+        [this](std::int64_t tag, SimTime) { delivered.push_back(tag); });
+  }
+
+  Packet data(std::int64_t seq) {
+    Packet p;
+    p.flow = 1;
+    p.seq = seq;
+    p.size_bytes = kDataPacketBytes;
+    p.app_tag = seq * 10;  // distinct tag to check tag plumbing
+    return p;
+  }
+
+  Scheduler sched;
+  std::vector<Packet> acks;
+  std::vector<std::int64_t> delivered;
+  TcpSink sink;
+};
+
+TEST(TcpSink, DelayedAckEverySecondSegment) {
+  SinkHarness h;
+  h.sink.on_data(h.data(0));
+  EXPECT_TRUE(h.acks.empty());  // first segment: ack deferred
+  h.sink.on_data(h.data(1));
+  ASSERT_EQ(h.acks.size(), 1u);  // second segment: immediate cumulative ack
+  EXPECT_EQ(h.acks[0].seq, 2);
+  EXPECT_EQ(h.acks[0].kind, PacketKind::kAck);
+}
+
+TEST(TcpSink, DelackTimerFiresWhenAlone) {
+  SinkHarness h;
+  h.sink.on_data(h.data(0));
+  EXPECT_TRUE(h.acks.empty());
+  h.sched.run_until(SimTime::millis(150));
+  ASSERT_EQ(h.acks.size(), 1u);
+  EXPECT_EQ(h.acks[0].seq, 1);
+}
+
+TEST(TcpSink, ImmediateAckWithoutDelack) {
+  TcpConfig config;
+  config.delayed_ack = false;
+  SinkHarness h(config);
+  h.sink.on_data(h.data(0));
+  ASSERT_EQ(h.acks.size(), 1u);
+  EXPECT_EQ(h.acks[0].seq, 1);
+}
+
+TEST(TcpSink, OutOfOrderTriggersImmediateDupAck) {
+  SinkHarness h;
+  h.sink.on_data(h.data(0));
+  h.sink.on_data(h.data(1));
+  h.acks.clear();
+  h.sink.on_data(h.data(3));  // gap: 2 missing
+  ASSERT_EQ(h.acks.size(), 1u);
+  EXPECT_EQ(h.acks[0].seq, 2);  // duplicate ack for next expected
+  h.sink.on_data(h.data(4));
+  ASSERT_EQ(h.acks.size(), 2u);
+  EXPECT_EQ(h.acks[1].seq, 2);
+  EXPECT_EQ(h.sink.out_of_order_segments(), 2u);
+}
+
+TEST(TcpSink, GapFillReleasesBufferedSegmentsInOrder) {
+  SinkHarness h;
+  h.sink.on_data(h.data(0));
+  h.sink.on_data(h.data(2));
+  h.sink.on_data(h.data(3));
+  EXPECT_EQ(h.delivered, (std::vector<std::int64_t>{0}));
+  h.sink.on_data(h.data(1));  // retransmission fills the gap
+  EXPECT_EQ(h.delivered, (std::vector<std::int64_t>{0, 10, 20, 30}));
+  // The gap fill must be acked immediately with the fully-advanced number.
+  EXPECT_EQ(h.acks.back().seq, 4);
+  EXPECT_EQ(h.sink.rcv_nxt(), 4);
+}
+
+TEST(TcpSink, BelowWindowSegmentCountsDuplicate) {
+  SinkHarness h;
+  h.sink.on_data(h.data(0));
+  h.sink.on_data(h.data(1));
+  h.acks.clear();
+  h.sink.on_data(h.data(0));  // spurious retransmission
+  EXPECT_EQ(h.sink.duplicate_segments(), 1u);
+  ASSERT_EQ(h.acks.size(), 1u);
+  EXPECT_EQ(h.acks[0].seq, 2);
+  // Not delivered twice.
+  EXPECT_EQ(h.delivered.size(), 2u);
+}
+
+TEST(TcpSink, AppTagsSurviveReordering) {
+  SinkHarness h;
+  h.sink.on_data(h.data(1));
+  h.sink.on_data(h.data(0));
+  EXPECT_EQ(h.delivered, (std::vector<std::int64_t>{0, 10}));
+}
+
+TEST(TcpSink, DelackTimerCancelledBySecondSegment) {
+  SinkHarness h;
+  h.sink.on_data(h.data(0));
+  h.sink.on_data(h.data(1));
+  ASSERT_EQ(h.acks.size(), 1u);
+  h.sched.run_until(SimTime::seconds(1));
+  EXPECT_EQ(h.acks.size(), 1u);  // no extra timer ack
+}
+
+}  // namespace
+}  // namespace dmp

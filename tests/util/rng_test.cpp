@@ -1,0 +1,104 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dmp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // The child stream must differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.next_u64() == parent.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.pareto(1.3, 2.0, 200.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LE(v, 200.0);
+  }
+}
+
+TEST(Rng, ParetoHeavyTail) {
+  // With shape 1.3 and xm 2, P(X > 20) = (2/20)^1.3 ~ 0.05: the tail must
+  // be visited but not dominate.
+  Rng rng(9);
+  int big = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) big += (rng.pareto(1.3, 2.0, 1e9) > 20.0);
+  EXPECT_GT(big, n / 100);
+  EXPECT_LT(big, n / 10);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(10);
+  std::vector<int> histogram(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    ++histogram[static_cast<int>(v)];
+  }
+  for (int count : histogram) EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.02);
+  EXPECT_NEAR(hits, 2000, 300);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(12);
+  const double weights[] = {1.0, 3.0};
+  int second = 0;
+  for (int i = 0; i < 40000; ++i) second += (rng.weighted_index(weights, 2) == 1);
+  EXPECT_NEAR(second, 30000, 600);
+}
+
+}  // namespace
+}  // namespace dmp

@@ -1,0 +1,49 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmp {
+namespace {
+
+TEST(SimTime, UnitConversionsRoundTrip) {
+  EXPECT_EQ(SimTime::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(SimTime::millis(250).ns(), 250'000'000);
+  EXPECT_EQ(SimTime::micros(3).ns(), 3'000);
+  EXPECT_DOUBLE_EQ(SimTime::millis(125).to_seconds(), 0.125);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2.0).to_millis(), 2000.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::millis(100);
+  const SimTime b = SimTime::millis(40);
+  EXPECT_EQ((a + b).ns(), SimTime::millis(140).ns());
+  EXPECT_EQ((a - b).ns(), SimTime::millis(60).ns());
+  EXPECT_EQ((b * 3).ns(), SimTime::millis(120).ns());
+  EXPECT_EQ((a / 4).ns(), SimTime::millis(25).ns());
+}
+
+TEST(SimTime, ComparisonIsTotalOrder) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ(SimTime::seconds(0.001), SimTime::millis(1));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e9));
+}
+
+TEST(SimTime, ScaledAppliesRealFactor) {
+  EXPECT_EQ(SimTime::millis(100).scaled(2.5).ns(), SimTime::millis(250).ns());
+  EXPECT_EQ(SimTime::millis(100).scaled(0.5).ns(), SimTime::millis(50).ns());
+}
+
+TEST(SimTime, TransmissionTime) {
+  // 1500 bytes at 1.2 Mbps = 10 ms.
+  EXPECT_EQ(transmission_time(1500, 1.2e6).ns(), SimTime::millis(10).ns());
+  // 40-byte ACK at 100 Mbps = 3.2 us.
+  EXPECT_EQ(transmission_time(40, 100e6).ns(), SimTime::nanos(3200).ns());
+}
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime::zero(), SimTime{});
+}
+
+}  // namespace
+}  // namespace dmp

@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dmp {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  RunningStats a, b, all;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.exponential(3.0);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_critical(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 29), 2.045, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 1000), 1.960, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 10), 3.169, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.90, 5), 2.015, 1e-3);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanOfNormalishData) {
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 30; ++i) {
+    double s = 0;
+    for (int j = 0; j < 12; ++j) s += rng.uniform();  // approx N(6, 1)
+    samples.push_back(s);
+  }
+  const auto ci = confidence_interval(samples);
+  EXPECT_TRUE(ci.contains(6.0)) << ci.lo() << " .. " << ci.hi();
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_LT(ci.half_width, 1.0);
+}
+
+TEST(ConfidenceInterval, SingleSampleHasZeroWidth) {
+  const auto ci = confidence_interval({3.5});
+  EXPECT_DOUBLE_EQ(ci.mean, 3.5);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(BatchMeans, MeanTracksAllSamples) {
+  BatchMeans bm;
+  Rng rng(3);
+  RunningStats ref;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.chance(0.01) ? 1.0 : 0.0;
+    bm.add(x);
+    ref.add(x);
+  }
+  EXPECT_EQ(bm.count(), 100000u);
+  EXPECT_NEAR(bm.mean(), ref.mean(), 1e-12);
+}
+
+TEST(BatchMeans, IntervalCoversIidMean) {
+  BatchMeans bm;
+  Rng rng(4);
+  for (int i = 0; i < 200000; ++i) bm.add(rng.chance(0.05) ? 1.0 : 0.0);
+  const auto ci = bm.interval();
+  EXPECT_TRUE(ci.contains(0.05)) << ci.lo() << " .. " << ci.hi();
+  EXPECT_LT(ci.half_width, 0.01);
+}
+
+TEST(BatchMeans, BatchCountStaysBounded) {
+  // The pairwise-merge policy keeps memory O(num_batches) for any run length.
+  BatchMeans bm(16);
+  for (int i = 0; i < 2'000'000; ++i) bm.add(0.5);
+  const auto ci = bm.interval();
+  EXPECT_DOUBLE_EQ(ci.mean, 0.5);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmp
