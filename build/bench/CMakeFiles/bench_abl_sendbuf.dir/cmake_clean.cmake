@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sendbuf.dir/abl_sendbuf.cpp.o"
+  "CMakeFiles/bench_abl_sendbuf.dir/abl_sendbuf.cpp.o.d"
+  "bench_abl_sendbuf"
+  "bench_abl_sendbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sendbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_static_weights.dir/abl_static_weights.cpp.o"
+  "CMakeFiles/bench_abl_static_weights.dir/abl_static_weights.cpp.o.d"
+  "bench_abl_static_weights"
+  "bench_abl_static_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_static_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

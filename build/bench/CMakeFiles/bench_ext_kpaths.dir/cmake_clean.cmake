@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_kpaths.dir/ext_kpaths.cpp.o"
+  "CMakeFiles/bench_ext_kpaths.dir/ext_kpaths.cpp.o.d"
+  "bench_ext_kpaths"
+  "bench_ext_kpaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_kpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stored.dir/ext_stored.cpp.o"
+  "CMakeFiles/bench_ext_stored.dir/ext_stored.cpp.o.d"
+  "bench_ext_stored"
+  "bench_ext_stored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

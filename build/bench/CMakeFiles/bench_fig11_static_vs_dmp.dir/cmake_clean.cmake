@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_static_vs_dmp.dir/fig11_static_vs_dmp.cpp.o"
+  "CMakeFiles/bench_fig11_static_vs_dmp.dir/fig11_static_vs_dmp.cpp.o.d"
+  "bench_fig11_static_vs_dmp"
+  "bench_fig11_static_vs_dmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_static_vs_dmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

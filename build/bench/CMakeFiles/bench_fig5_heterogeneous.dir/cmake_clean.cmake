@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_heterogeneous.dir/fig5_heterogeneous.cpp.o"
+  "CMakeFiles/bench_fig5_heterogeneous.dir/fig5_heterogeneous.cpp.o.d"
+  "bench_fig5_heterogeneous"
+  "bench_fig5_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_internet.dir/fig7_internet.cpp.o"
+  "CMakeFiles/bench_fig7_internet.dir/fig7_internet.cpp.o.d"
+  "bench_fig7_internet"
+  "bench_fig7_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_diminishing_gain.dir/fig8_diminishing_gain.cpp.o"
+  "CMakeFiles/bench_fig8_diminishing_gain.dir/fig8_diminishing_gain.cpp.o.d"
+  "bench_fig8_diminishing_gain"
+  "bench_fig8_diminishing_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_diminishing_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

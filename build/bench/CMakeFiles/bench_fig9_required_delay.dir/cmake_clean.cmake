@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_required_delay.dir/fig9_required_delay.cpp.o"
+  "CMakeFiles/bench_fig9_required_delay.dir/fig9_required_delay.cpp.o.d"
+  "bench_fig9_required_delay"
+  "bench_fig9_required_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_required_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

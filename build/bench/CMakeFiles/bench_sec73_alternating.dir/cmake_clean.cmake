@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_alternating.dir/sec73_alternating.cpp.o"
+  "CMakeFiles/bench_sec73_alternating.dir/sec73_alternating.cpp.o.d"
+  "bench_sec73_alternating"
+  "bench_sec73_alternating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_alternating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_configs.cpp" "bench/CMakeFiles/bench_table1_configs.dir/table1_configs.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_configs.dir/table1_configs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dmp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/emul/CMakeFiles/dmp_emul.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dmp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dmp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/dmp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/dmp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

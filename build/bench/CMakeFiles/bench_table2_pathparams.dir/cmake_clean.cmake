@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pathparams.dir/table2_pathparams.cpp.o"
+  "CMakeFiles/bench_table2_pathparams.dir/table2_pathparams.cpp.o.d"
+  "bench_table2_pathparams"
+  "bench_table2_pathparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pathparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_correlated.dir/table3_correlated.cpp.o"
+  "CMakeFiles/bench_table3_correlated.dir/table3_correlated.cpp.o.d"
+  "bench_table3_correlated"
+  "bench_table3_correlated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

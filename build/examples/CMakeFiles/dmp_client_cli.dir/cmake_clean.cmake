@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_client_cli.dir/dmp_client_cli.cpp.o"
+  "CMakeFiles/dmp_client_cli.dir/dmp_client_cli.cpp.o.d"
+  "dmp_client_cli"
+  "dmp_client_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_client_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_server_cli.dir/dmp_server_cli.cpp.o"
+  "CMakeFiles/dmp_server_cli.dir/dmp_server_cli.cpp.o.d"
+  "dmp_server_cli"
+  "dmp_server_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_server_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_vs_dynamic.dir/static_vs_dynamic.cpp.o"
+  "CMakeFiles/static_vs_dynamic.dir/static_vs_dynamic.cpp.o.d"
+  "static_vs_dynamic"
+  "static_vs_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_vs_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_streaming.dir/wan_streaming.cpp.o"
+  "CMakeFiles/wan_streaming.dir/wan_streaming.cpp.o.d"
+  "wan_streaming"
+  "wan_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_apps.dir/background.cpp.o"
+  "CMakeFiles/dmp_apps.dir/background.cpp.o.d"
+  "CMakeFiles/dmp_apps.dir/ftp_source.cpp.o"
+  "CMakeFiles/dmp_apps.dir/ftp_source.cpp.o.d"
+  "CMakeFiles/dmp_apps.dir/http_source.cpp.o"
+  "CMakeFiles/dmp_apps.dir/http_source.cpp.o.d"
+  "libdmp_apps.a"
+  "libdmp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_emul.dir/experiment.cpp.o"
+  "CMakeFiles/dmp_emul.dir/experiment.cpp.o.d"
+  "CMakeFiles/dmp_emul.dir/wan_path.cpp.o"
+  "CMakeFiles/dmp_emul.dir/wan_path.cpp.o.d"
+  "libdmp_emul.a"
+  "libdmp_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_inet.dir/client.cpp.o"
+  "CMakeFiles/dmp_inet.dir/client.cpp.o.d"
+  "CMakeFiles/dmp_inet.dir/framing.cpp.o"
+  "CMakeFiles/dmp_inet.dir/framing.cpp.o.d"
+  "CMakeFiles/dmp_inet.dir/server.cpp.o"
+  "CMakeFiles/dmp_inet.dir/server.cpp.o.d"
+  "CMakeFiles/dmp_inet.dir/socket.cpp.o"
+  "CMakeFiles/dmp_inet.dir/socket.cpp.o.d"
+  "libdmp_inet.a"
+  "libdmp_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

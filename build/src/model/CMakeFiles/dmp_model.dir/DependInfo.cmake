@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/alternating.cpp" "src/model/CMakeFiles/dmp_model.dir/alternating.cpp.o" "gcc" "src/model/CMakeFiles/dmp_model.dir/alternating.cpp.o.d"
+  "/root/repo/src/model/composed_chain.cpp" "src/model/CMakeFiles/dmp_model.dir/composed_chain.cpp.o" "gcc" "src/model/CMakeFiles/dmp_model.dir/composed_chain.cpp.o.d"
+  "/root/repo/src/model/heterogeneity.cpp" "src/model/CMakeFiles/dmp_model.dir/heterogeneity.cpp.o" "gcc" "src/model/CMakeFiles/dmp_model.dir/heterogeneity.cpp.o.d"
+  "/root/repo/src/model/pftk.cpp" "src/model/CMakeFiles/dmp_model.dir/pftk.cpp.o" "gcc" "src/model/CMakeFiles/dmp_model.dir/pftk.cpp.o.d"
+  "/root/repo/src/model/required_delay.cpp" "src/model/CMakeFiles/dmp_model.dir/required_delay.cpp.o" "gcc" "src/model/CMakeFiles/dmp_model.dir/required_delay.cpp.o.d"
+  "/root/repo/src/model/tcp_chain.cpp" "src/model/CMakeFiles/dmp_model.dir/tcp_chain.cpp.o" "gcc" "src/model/CMakeFiles/dmp_model.dir/tcp_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/dmp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

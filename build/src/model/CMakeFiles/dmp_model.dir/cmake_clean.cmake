@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_model.dir/alternating.cpp.o"
+  "CMakeFiles/dmp_model.dir/alternating.cpp.o.d"
+  "CMakeFiles/dmp_model.dir/composed_chain.cpp.o"
+  "CMakeFiles/dmp_model.dir/composed_chain.cpp.o.d"
+  "CMakeFiles/dmp_model.dir/heterogeneity.cpp.o"
+  "CMakeFiles/dmp_model.dir/heterogeneity.cpp.o.d"
+  "CMakeFiles/dmp_model.dir/pftk.cpp.o"
+  "CMakeFiles/dmp_model.dir/pftk.cpp.o.d"
+  "CMakeFiles/dmp_model.dir/required_delay.cpp.o"
+  "CMakeFiles/dmp_model.dir/required_delay.cpp.o.d"
+  "CMakeFiles/dmp_model.dir/tcp_chain.cpp.o"
+  "CMakeFiles/dmp_model.dir/tcp_chain.cpp.o.d"
+  "libdmp_model.a"
+  "libdmp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

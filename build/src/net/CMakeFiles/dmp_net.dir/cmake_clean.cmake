@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_net.dir/link.cpp.o"
+  "CMakeFiles/dmp_net.dir/link.cpp.o.d"
+  "CMakeFiles/dmp_net.dir/topology.cpp.o"
+  "CMakeFiles/dmp_net.dir/topology.cpp.o.d"
+  "libdmp_net.a"
+  "libdmp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/dmp_sim.dir/scheduler.cpp.o.d"
+  "libdmp_sim.a"
+  "libdmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

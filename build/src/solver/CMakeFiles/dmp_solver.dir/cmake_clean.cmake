@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_solver.dir/ctmc.cpp.o"
+  "CMakeFiles/dmp_solver.dir/ctmc.cpp.o.d"
+  "libdmp_solver.a"
+  "libdmp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/client.cpp" "src/stream/CMakeFiles/dmp_stream.dir/client.cpp.o" "gcc" "src/stream/CMakeFiles/dmp_stream.dir/client.cpp.o.d"
+  "/root/repo/src/stream/dmp_server.cpp" "src/stream/CMakeFiles/dmp_stream.dir/dmp_server.cpp.o" "gcc" "src/stream/CMakeFiles/dmp_stream.dir/dmp_server.cpp.o.d"
+  "/root/repo/src/stream/session.cpp" "src/stream/CMakeFiles/dmp_stream.dir/session.cpp.o" "gcc" "src/stream/CMakeFiles/dmp_stream.dir/session.cpp.o.d"
+  "/root/repo/src/stream/static_server.cpp" "src/stream/CMakeFiles/dmp_stream.dir/static_server.cpp.o" "gcc" "src/stream/CMakeFiles/dmp_stream.dir/static_server.cpp.o.d"
+  "/root/repo/src/stream/stored_server.cpp" "src/stream/CMakeFiles/dmp_stream.dir/stored_server.cpp.o" "gcc" "src/stream/CMakeFiles/dmp_stream.dir/stored_server.cpp.o.d"
+  "/root/repo/src/stream/trace.cpp" "src/stream/CMakeFiles/dmp_stream.dir/trace.cpp.o" "gcc" "src/stream/CMakeFiles/dmp_stream.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dmp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/dmp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_stream.dir/client.cpp.o"
+  "CMakeFiles/dmp_stream.dir/client.cpp.o.d"
+  "CMakeFiles/dmp_stream.dir/dmp_server.cpp.o"
+  "CMakeFiles/dmp_stream.dir/dmp_server.cpp.o.d"
+  "CMakeFiles/dmp_stream.dir/session.cpp.o"
+  "CMakeFiles/dmp_stream.dir/session.cpp.o.d"
+  "CMakeFiles/dmp_stream.dir/static_server.cpp.o"
+  "CMakeFiles/dmp_stream.dir/static_server.cpp.o.d"
+  "CMakeFiles/dmp_stream.dir/stored_server.cpp.o"
+  "CMakeFiles/dmp_stream.dir/stored_server.cpp.o.d"
+  "CMakeFiles/dmp_stream.dir/trace.cpp.o"
+  "CMakeFiles/dmp_stream.dir/trace.cpp.o.d"
+  "libdmp_stream.a"
+  "libdmp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmp_stream.a"
+)

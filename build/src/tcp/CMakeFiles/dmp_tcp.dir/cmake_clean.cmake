@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_tcp.dir/connection.cpp.o"
+  "CMakeFiles/dmp_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/dmp_tcp.dir/reno_sender.cpp.o"
+  "CMakeFiles/dmp_tcp.dir/reno_sender.cpp.o.d"
+  "CMakeFiles/dmp_tcp.dir/sink.cpp.o"
+  "CMakeFiles/dmp_tcp.dir/sink.cpp.o.d"
+  "libdmp_tcp.a"
+  "libdmp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmp_util.dir/csv.cpp.o"
+  "CMakeFiles/dmp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dmp_util.dir/env.cpp.o"
+  "CMakeFiles/dmp_util.dir/env.cpp.o.d"
+  "CMakeFiles/dmp_util.dir/rng.cpp.o"
+  "CMakeFiles/dmp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dmp_util.dir/stats.cpp.o"
+  "CMakeFiles/dmp_util.dir/stats.cpp.o.d"
+  "libdmp_util.a"
+  "libdmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

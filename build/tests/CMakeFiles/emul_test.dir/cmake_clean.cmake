@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emul_test.dir/emul/emul_test.cpp.o"
+  "CMakeFiles/emul_test.dir/emul/emul_test.cpp.o.d"
+  "emul_test"
+  "emul_test.pdb"
+  "emul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

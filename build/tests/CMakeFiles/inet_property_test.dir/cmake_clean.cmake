@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inet_property_test.dir/inet/inet_property_test.cpp.o"
+  "CMakeFiles/inet_property_test.dir/inet/inet_property_test.cpp.o.d"
+  "inet_property_test"
+  "inet_property_test.pdb"
+  "inet_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inet_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_alternating_test.dir/model/alternating_test.cpp.o"
+  "CMakeFiles/model_alternating_test.dir/model/alternating_test.cpp.o.d"
+  "model_alternating_test"
+  "model_alternating_test.pdb"
+  "model_alternating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_alternating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

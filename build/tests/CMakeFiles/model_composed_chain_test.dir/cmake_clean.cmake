@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_composed_chain_test.dir/model/composed_chain_test.cpp.o"
+  "CMakeFiles/model_composed_chain_test.dir/model/composed_chain_test.cpp.o.d"
+  "model_composed_chain_test"
+  "model_composed_chain_test.pdb"
+  "model_composed_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_composed_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

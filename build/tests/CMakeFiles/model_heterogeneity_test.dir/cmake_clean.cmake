@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_heterogeneity_test.dir/model/heterogeneity_test.cpp.o"
+  "CMakeFiles/model_heterogeneity_test.dir/model/heterogeneity_test.cpp.o.d"
+  "model_heterogeneity_test"
+  "model_heterogeneity_test.pdb"
+  "model_heterogeneity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_heterogeneity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_pftk_test.dir/model/pftk_test.cpp.o"
+  "CMakeFiles/model_pftk_test.dir/model/pftk_test.cpp.o.d"
+  "model_pftk_test"
+  "model_pftk_test.pdb"
+  "model_pftk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_pftk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

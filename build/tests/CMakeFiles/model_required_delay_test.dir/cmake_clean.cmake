@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_required_delay_test.dir/model/required_delay_test.cpp.o"
+  "CMakeFiles/model_required_delay_test.dir/model/required_delay_test.cpp.o.d"
+  "model_required_delay_test"
+  "model_required_delay_test.pdb"
+  "model_required_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_required_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_ctmc_test.dir/solver/ctmc_test.cpp.o"
+  "CMakeFiles/solver_ctmc_test.dir/solver/ctmc_test.cpp.o.d"
+  "solver_ctmc_test"
+  "solver_ctmc_test.pdb"
+  "solver_ctmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_ctmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_client_test.dir/stream/client_test.cpp.o"
+  "CMakeFiles/stream_client_test.dir/stream/client_test.cpp.o.d"
+  "stream_client_test"
+  "stream_client_test.pdb"
+  "stream_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_dmp_test.dir/stream/dmp_test.cpp.o"
+  "CMakeFiles/stream_dmp_test.dir/stream/dmp_test.cpp.o.d"
+  "stream_dmp_test"
+  "stream_dmp_test.pdb"
+  "stream_dmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_dmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

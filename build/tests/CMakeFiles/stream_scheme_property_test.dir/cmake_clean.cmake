@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_scheme_property_test.dir/stream/scheme_property_test.cpp.o"
+  "CMakeFiles/stream_scheme_property_test.dir/stream/scheme_property_test.cpp.o.d"
+  "stream_scheme_property_test"
+  "stream_scheme_property_test.pdb"
+  "stream_scheme_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_scheme_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_stored_test.dir/stream/stored_test.cpp.o"
+  "CMakeFiles/stream_stored_test.dir/stream/stored_test.cpp.o.d"
+  "stream_stored_test"
+  "stream_stored_test.pdb"
+  "stream_stored_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_stored_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

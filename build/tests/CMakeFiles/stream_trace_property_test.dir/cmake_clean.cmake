@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_trace_property_test.dir/stream/trace_property_test.cpp.o"
+  "CMakeFiles/stream_trace_property_test.dir/stream/trace_property_test.cpp.o.d"
+  "stream_trace_property_test"
+  "stream_trace_property_test.pdb"
+  "stream_trace_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_trace_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stream/trace_test.cpp" "tests/CMakeFiles/stream_trace_test.dir/stream/trace_test.cpp.o" "gcc" "tests/CMakeFiles/stream_trace_test.dir/stream/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/dmp_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dmp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/dmp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

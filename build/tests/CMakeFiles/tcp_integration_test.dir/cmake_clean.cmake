@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_integration_test.dir/tcp/integration_test.cpp.o"
+  "CMakeFiles/tcp_integration_test.dir/tcp/integration_test.cpp.o.d"
+  "tcp_integration_test"
+  "tcp_integration_test.pdb"
+  "tcp_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
