@@ -24,6 +24,11 @@ struct Knobs {
       static_cast<std::uint64_t>(env_int("DMP_MC_MIN", 400'000));
   std::uint64_t mc_max =
       static_cast<std::uint64_t>(env_int("DMP_MC_MAX", 6'400'000));
+  // DMP_OBS=1 attaches the observability layer (metrics registry, gauge
+  // probe CSV, event JSONL, RunReport JSON in the bench output dir) to the
+  // first replication of each figure.
+  bool obs = env_int("DMP_OBS", 0) != 0;
+  double obs_probe_interval_s = env_double("DMP_OBS_PROBE_S", 1.0);
 };
 
 inline void banner(const std::string& title) {

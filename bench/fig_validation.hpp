@@ -41,7 +41,20 @@ inline void run_validation_figure(const ValidationSetting& setting,
     auto config =
         session_for(setting, knobs.duration_s,
                     knobs.seed + 1000 + static_cast<std::uint64_t>(run) * 97);
+    if (knobs.obs && run == 0) {
+      config.obs.enabled = true;
+      config.obs.output_dir = bench_output_dir();
+      config.obs.prefix = figure_name + "_" + setting.name + "_obs";
+      config.obs.probe_interval_s = knobs.obs_probe_interval_s;
+    }
     const auto result = run_session(config);
+    if (!result.report_path.empty()) {
+      std::printf("obs artifacts: %s", result.report_path.c_str());
+      if (!result.probe_csv_path.empty()) {
+        std::printf(", %s", result.probe_csv_path.c_str());
+      }
+      std::printf(", %s\n", result.events_path.c_str());
+    }
     for (double tau : scatter_taus) {
       const double fp = result.trace.late_fraction_playback_order(
           tau, result.packets_generated);

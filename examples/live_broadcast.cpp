@@ -4,12 +4,19 @@
 // the scheme shifting load with no explicit signalling.
 //
 //   $ ./live_broadcast [mu_pps] [duration_s]
+//
+// Set DMP_OBS=1 to attach the wall-clock observability layer: a server
+// queue-depth time series (live_broadcast_probe.csv), per-path pull/frame
+// counters, and a JSONL event log (live_broadcast_events.jsonl).
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 
 #include "inet/client.hpp"
 #include "inet/server.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
 
 using namespace dmp;
 using namespace dmp::inet;
@@ -17,12 +24,22 @@ using namespace dmp::inet;
 int main(int argc, char** argv) {
   const double mu = argc > 1 ? std::atof(argv[1]) : 400.0;
   const double duration = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const bool obs_on = env_int("DMP_OBS", 0) != 0;
+  obs::MetricsRegistry server_metrics;
+  obs::MetricsRegistry client_metrics;
+  obs::EventLog events;
 
   ServerConfig server_cfg;
   server_cfg.num_paths = 2;
   server_cfg.mu_pps = mu;
   server_cfg.duration_s = duration;
   server_cfg.send_buffer_bytes = 8 * 1024;
+  if (obs_on) {
+    server_cfg.metrics = &server_metrics;
+    server_cfg.events = &events;
+    server_cfg.probe_interval_s = 0.1;
+    server_cfg.probe_csv_path = "live_broadcast_probe.csv";
+  }
 
   DmpInetServer server(server_cfg);
   std::printf("DMP server listening on 127.0.0.1:%u — streaming %.0f pkts/s "
@@ -36,6 +53,7 @@ int main(int argc, char** argv) {
   // Path 2 is constrained to ~25% of the stream's bandwidth: DMP must
   // route the bulk of the feed over path 1.
   client_cfg.read_rate_limit_bps = {0.0, mu * 1448 * 8 * 0.25};
+  if (obs_on) client_cfg.metrics = &client_metrics;
 
   auto server_future =
       std::async(std::launch::async, [&server] { return server.run(); });
@@ -59,6 +77,19 @@ int main(int argc, char** argv) {
                 report.trace.late_fraction_playback_order(
                     tau, stats.packets_generated) *
                     100.0);
+  }
+  if (obs_on) {
+    events.write_jsonl("live_broadcast_events.jsonl");
+    const auto* p0 = server_metrics.find_counter("server.pulls.path0");
+    const auto* p1 = server_metrics.find_counter("server.pulls.path1");
+    const auto* delay = client_metrics.find_histogram("client.delay_s");
+    std::printf("\nobs: pulls %llu / %llu, delay p50/p99 = %.0f/%.0f ms; "
+                "wrote live_broadcast_probe.csv, live_broadcast_events.jsonl"
+                "\n",
+                static_cast<unsigned long long>(p0 ? p0->value() : 0),
+                static_cast<unsigned long long>(p1 ? p1->value() : 0),
+                delay ? delay->quantile(0.5) * 1e3 : 0.0,
+                delay ? delay->quantile(0.99) * 1e3 : 0.0);
   }
   return 0;
 }

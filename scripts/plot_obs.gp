@@ -1,0 +1,59 @@
+# Renders time-series plots from an observability probe CSV
+# (<prefix>_probe.csv written by a DMP_OBS=1 bench run or any session with
+# obs enabled).
+#
+#   gnuplot -e "probe='bench_out/fig4_4-4_obs_probe.csv'" scripts/plot_obs.gp
+#
+# Produces, next to the CSV:
+#   <probe base>_cwnd.png   — per-path congestion windows vs time
+#   <probe base>_queue.png  — server queue and link queue depths vs time
+# Requires gnuplot >= 5 (column access by header name).
+if (!exists("probe")) probe = "bench_out/run_probe.csv"
+base = probe[1:strlen(probe)-4]
+
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+set key top right
+set grid
+set xlabel "time (s)"
+
+# The probe's column set depends on path/flow counts, so discover the
+# available gauges from the CSV header and build each plot command with
+# by-name column references.
+header = system(sprintf("head -n1 '%s'", probe))
+has(name) = strstrt("," . header . ",", "," . name . ",") > 0
+series(name, style, label) = \
+  sprintf("'%s' using 'time_s':'%s' %s title '%s', ", probe, name, style, label)
+
+# --- per-path cwnd ---
+cmd = ""
+do for [k=0:15] {
+  name = sprintf("tcp.path%d.cwnd", k)
+  if (has(name)) {
+    cmd = cmd . series(name, "with lines lw 2", sprintf("path %d cwnd", k))
+  }
+}
+if (strlen(cmd) > 0) {
+  set output sprintf("%s_cwnd.png", base)
+  set ylabel "congestion window (packets)"
+  set title "per-path congestion window"
+  eval("plot " . cmd[1:strlen(cmd)-2])
+}
+
+# --- server + bottleneck queues ---
+cmd = ""
+if (has("server.queue_depth")) {
+  cmd = cmd . series("server.queue_depth", "with lines lw 2", "server queue")
+}
+do for [k=0:15] {
+  name = sprintf("link.path%d.queue_depth", k)
+  if (has(name)) {
+    cmd = cmd . series(name, "with lines", sprintf("link %d queue", k))
+  }
+}
+if (strlen(cmd) > 0) {
+  set output sprintf("%s_queue.png", base)
+  set ylabel "queue depth (packets)"
+  set title "server and bottleneck queue depth"
+  eval("plot " . cmd[1:strlen(cmd)-2])
+}

@@ -41,6 +41,17 @@ ClientReport DmpInetClient::run() {
     std::uint64_t received = 0;
   };
 
+  std::vector<obs::Counter*> m_frames;
+  obs::Histogram* m_delay = nullptr;
+  if (config_.metrics) {
+    for (std::size_t k = 0; k < config_.num_paths; ++k) {
+      m_frames.push_back(&config_.metrics->counter("client.path" +
+                                                   std::to_string(k) +
+                                                   ".frames"));
+    }
+    m_delay = &config_.metrics->histogram("client.delay_s");
+  }
+
   std::vector<Path> paths;
   for (std::size_t k = 0; k < config_.num_paths; ++k) {
     Path path;
@@ -125,6 +136,12 @@ ClientReport DmpInetClient::run() {
                                                     frame.generated_ns, now,
                                                     path32});
                          ++path.received;
+                         if (!m_frames.empty()) m_frames[k]->inc();
+                         if (m_delay && now >= frame.generated_ns) {
+                           m_delay->observe(
+                               static_cast<double>(now - frame.generated_ns) *
+                               1e-9);
+                         }
                        });
     }
   }

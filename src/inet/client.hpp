@@ -12,6 +12,7 @@
 
 #include "inet/framing.hpp"
 #include "inet/socket.hpp"
+#include "obs/metrics.hpp"
 #include "stream/trace.hpp"
 
 namespace dmp::inet {
@@ -25,6 +26,10 @@ struct ClientConfig {
   // Optional per-path read throttle in bytes/second (0 = unthrottled);
   // lets tests and demos emulate a slow path over loopback.
   std::vector<double> read_rate_limit_bps{};
+  // Optional wall-clock observability (not owned; may be null).  Maintains
+  // per-path `client.path<k>.frames` counters and a `client.delay_s`
+  // histogram of generation-to-arrival delay.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ClientReport {

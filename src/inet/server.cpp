@@ -8,7 +8,10 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
+
+#include "obs/probe.hpp"
 
 namespace dmp::inet {
 
@@ -53,6 +56,7 @@ bool DmpInetServer::pump_connection(Connection& conn) {
     // Fetch the head-of-queue packet (the Fig. 2 fetch step).
     const Frame frame = queue_.front();
     queue_.pop_front();
+    if (conn.pulls) conn.pulls->inc();
     conn.partial.assign(config_.frame_bytes, 0);
     encode_frame_header(frame, conn.partial.data());
     conn.partial_offset = 0;
@@ -60,6 +64,33 @@ bool DmpInetServer::pump_connection(Connection& conn) {
 }
 
 ServerStats DmpInetServer::run() {
+  const std::uint64_t run_epoch_ns = monotonic_ns();
+  const auto elapsed_s = [run_epoch_ns] {
+    return static_cast<double>(monotonic_ns() - run_epoch_ns) * 1e-9;
+  };
+
+  // Wall-clock observability: the same counter/gauge/probe layer the
+  // simulator uses, driven by the poll loop instead of the scheduler.
+  obs::Counter* m_generated = nullptr;
+  std::vector<obs::Counter*> m_pulls;
+  std::unique_ptr<obs::WallClockProbe> wall_probe;
+  if (config_.metrics) {
+    m_generated = &config_.metrics->counter("server.generated");
+    for (std::size_t i = 0; i < config_.num_paths; ++i) {
+      m_pulls.push_back(&config_.metrics->counter("server.pulls.path" +
+                                                  std::to_string(i)));
+    }
+    config_.metrics->gauge("server.queue_depth").set_sampler([this] {
+      return static_cast<double>(queue_.size());
+    });
+    if (config_.probe_interval_s > 0.0 && !config_.probe_csv_path.empty()) {
+      wall_probe = std::make_unique<obs::WallClockProbe>(
+          *config_.metrics, std::vector<std::string>{"server.queue_depth"},
+          config_.probe_csv_path,
+          static_cast<std::uint64_t>(config_.probe_interval_s * 1e9));
+    }
+  }
+
   std::vector<Connection> connections;
   for (std::size_t i = 0; i < config_.num_paths; ++i) {
     Fd fd = accept_with_timeout(listener_, config_.accept_timeout_ms);
@@ -69,7 +100,12 @@ ServerStats DmpInetServer::run() {
     set_send_buffer(fd, config_.send_buffer_bytes);
     Connection conn;
     conn.fd = std::move(fd);
+    if (!m_pulls.empty()) conn.pulls = m_pulls[i];
     connections.push_back(std::move(conn));
+    if (config_.events && config_.events->enabled(obs::Severity::kInfo)) {
+      config_.events->record(elapsed_s(), obs::Severity::kInfo, "accept",
+                             {obs::EventField::num("path", i)});
+    }
   }
 
   ServerStats stats;
@@ -95,8 +131,10 @@ ServerStats DmpInetServer::run() {
       if (due > now) break;
       queue_.push_back(Frame{static_cast<std::uint64_t>(generated), due});
       ++generated;
+      if (m_generated) m_generated->inc();
     }
     stats.max_queue_packets = std::max(stats.max_queue_packets, queue_.size());
+    if (wall_probe) wall_probe->poll(now);
 
     // Offer data to every connection (rotating start for fairness).
     for (std::size_t i = 0; i < connections.size(); ++i) {
@@ -141,6 +179,13 @@ ServerStats DmpInetServer::run() {
   stats.packets_generated = generated;
   for (std::size_t i = 0; i < connections.size(); ++i) {
     stats.sent_per_path[i] = connections[i].sent_frames;
+  }
+  if (config_.metrics) config_.metrics->freeze_gauges();
+  if (config_.events && config_.events->enabled(obs::Severity::kInfo)) {
+    config_.events->record(
+        elapsed_s(), obs::Severity::kInfo, "stream_end",
+        {obs::EventField::num("generated", generated),
+         obs::EventField::num("max_queue", stats.max_queue_packets)});
   }
   // Destructors close the sockets, signalling EOF to the client.
   return stats;

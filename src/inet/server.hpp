@@ -17,6 +17,8 @@
 
 #include "inet/framing.hpp"
 #include "inet/socket.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 
 namespace dmp::inet {
 
@@ -29,6 +31,17 @@ struct ServerConfig {
   std::size_t frame_bytes = kDefaultFrameBytes;
   int send_buffer_bytes = 16 * 1024;
   int accept_timeout_ms = 10000;
+
+  // Optional wall-clock observability (never owned by the server; both may
+  // be null).  When `metrics` is set, the run maintains `server.generated`,
+  // per-path `server.pulls.path<k>` counters and a `server.queue_depth`
+  // gauge; with `probe_interval_s > 0` and a CSV path, the poll loop also
+  // samples those gauges into a time series.  `events` receives "accept"
+  // and "stream_end" events (timestamps are seconds since run() started).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventLog* events = nullptr;
+  double probe_interval_s = 0.0;
+  std::string probe_csv_path;
 };
 
 struct ServerStats {
@@ -59,6 +72,7 @@ class DmpInetServer {
     std::vector<unsigned char> partial;  // unwritten tail of a fetched frame
     std::size_t partial_offset = 0;
     std::uint64_t sent_frames = 0;
+    obs::Counter* pulls = nullptr;  // set when ServerConfig::metrics is
   };
 
   // Writes queued data into `conn` until EAGAIN or nothing left; returns

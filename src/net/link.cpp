@@ -13,6 +13,7 @@ Link::Link(Scheduler& sched, LinkConfig config)
 
 void Link::send(const Packet& p) {
   ++total_arrivals_;
+  if (m_arrivals_) m_arrivals_->inc();
   auto& fc = per_flow_[p.flow];
   ++fc.arrivals;
 
@@ -23,6 +24,14 @@ void Link::send(const Packet& p) {
   if (config_.buffer_packets != 0 && queue_.size() >= config_.buffer_packets) {
     ++total_drops_;
     ++fc.drops;
+    if (m_drops_) m_drops_->inc();
+    if (event_log_ && event_log_->enabled(obs::Severity::kWarn)) {
+      event_log_->record(sched_.now().to_seconds(), obs::Severity::kWarn,
+                         "drop",
+                         {obs::EventField::num("flow", p.flow),
+                          obs::EventField::num("seq", p.seq),
+                          obs::EventField::num("queue", queue_.size())});
+    }
     return;
   }
   queue_.push_back(p);
@@ -41,6 +50,7 @@ void Link::on_transmit_done() {
   // immediately free for the next queued packet.
   const Packet delivered = in_flight_;
   ++total_delivered_;
+  if (m_delivered_) m_delivered_->inc();
   sched_.schedule_after(config_.prop_delay, [this, delivered] {
     if (receiver_) receiver_(delivered);
   });
@@ -55,6 +65,15 @@ void Link::on_transmit_done() {
 LinkFlowCounters Link::flow_counters(FlowId flow) const {
   const auto it = per_flow_.find(flow);
   return it == per_flow_.end() ? LinkFlowCounters{} : it->second;
+}
+
+void Link::attach_metrics(obs::MetricsRegistry& registry,
+                          const std::string& prefix) {
+  m_arrivals_ = &registry.counter(prefix + ".arrivals");
+  m_drops_ = &registry.counter(prefix + ".drops");
+  m_delivered_ = &registry.counter(prefix + ".delivered");
+  registry.gauge(prefix + ".queue_depth")
+      .set_sampler([this] { return static_cast<double>(queue_.size()); });
 }
 
 double Link::utilization(SimTime elapsed) const {

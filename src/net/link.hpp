@@ -5,9 +5,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "net/packet.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "util/sim_time.hpp"
 
@@ -51,6 +54,15 @@ class Link {
   // Busy-time integral, for utilization diagnostics.
   double utilization(SimTime elapsed) const;
 
+  // --- observability (all optional; no-ops when never called) ---
+  // Registers `<prefix>.queue_depth` (gauge, samples this link) and
+  // `<prefix>.{arrivals,drops,delivered}` (counters, incremented on the
+  // hot path alongside the local totals).
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+  // Emits a kWarn "drop" event per drop-tail discard.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+
  private:
   void start_transmission(const Packet& p);
   void on_transmit_done();
@@ -67,6 +79,11 @@ class Link {
   std::uint64_t total_delivered_ = 0;
   SimTime busy_time_ = SimTime::zero();
   std::unordered_map<FlowId, LinkFlowCounters> per_flow_;
+
+  obs::Counter* m_arrivals_ = nullptr;
+  obs::Counter* m_drops_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace dmp

@@ -1,0 +1,38 @@
+// Knobs for attaching the observability layer to a run.  Disabled by
+// default: a session with `enabled == false` creates no registry, attaches
+// no counters, and schedules no probes, so the hot path is identical to an
+// uninstrumented build.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/event_log.hpp"
+
+namespace dmp::obs {
+
+struct ObsConfig {
+  bool enabled = false;
+  // Directory for the emitted artifacts; created if missing.  Files are
+  // `<prefix>_report.json`, `<prefix>_probe.csv`, `<prefix>_events.jsonl`.
+  std::string output_dir = "bench_out";
+  std::string prefix = "run";
+  // Gauge-snapshot interval for the time-series probe (simulated seconds);
+  // <= 0 disables the probe (counters, events and the report still run).
+  double probe_interval_s = 1.0;
+  // Ring-buffer capacity for the event log (0 = unbounded).
+  std::size_t event_ring_capacity = 65536;
+  Severity min_severity = Severity::kInfo;
+
+  std::string report_path() const {
+    return output_dir + "/" + prefix + "_report.json";
+  }
+  std::string probe_csv_path() const {
+    return output_dir + "/" + prefix + "_probe.csv";
+  }
+  std::string events_path() const {
+    return output_dir + "/" + prefix + "_events.jsonl";
+  }
+};
+
+}  // namespace dmp::obs

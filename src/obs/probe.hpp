@@ -1,0 +1,90 @@
+// Periodic time-series sampling of registry gauges into CSV.
+//
+// `ProbeWriter` is the sampling core: given a registry and a list of gauge
+// names it appends one CSV row (time + gauge values) per `sample()` call.
+// `Probe` drives a ProbeWriter off the discrete-event `Scheduler` at a
+// fixed simulated interval; `WallClockProbe` is the poll-based variant for
+// the real-socket (`inet`) layer, where a single-threaded event loop calls
+// `poll()` opportunistically and the probe decides when enough wall time
+// has elapsed.  Nothing is scheduled and no file is opened until `start()`
+// / first use, so an unused probe costs nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "util/csv.hpp"
+
+namespace dmp::obs {
+
+class ProbeWriter {
+ public:
+  // Opens `csv_path` and writes the header: time_s, <gauge names>.
+  // Gauges are resolved (get-or-create) once, up front.
+  ProbeWriter(MetricsRegistry& registry, std::vector<std::string> gauge_names,
+              const std::string& csv_path);
+
+  void sample(double time_s);
+
+  std::size_t samples() const { return samples_; }
+  const std::string& path() const { return csv_.path(); }
+
+ private:
+  std::vector<Gauge*> gauges_;
+  CsvWriter csv_;
+  std::size_t samples_ = 0;
+};
+
+// Scheduler-driven periodic probe.
+class Probe {
+ public:
+  Probe(Scheduler& sched, MetricsRegistry& registry,
+        std::vector<std::string> gauge_names, const std::string& csv_path,
+        SimTime interval);
+
+  // Samples immediately, then every `interval` until `stop()` or `end`
+  // (inclusive); without an end bound the probe keeps the event queue
+  // non-empty, so horizon-bounded runs are unaffected but `run()` to
+  // drain would never return.
+  void start(SimTime end = SimTime::max());
+  void stop();
+
+  std::size_t samples() const { return writer_.samples(); }
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  void tick();
+
+  Scheduler& sched_;
+  ProbeWriter writer_;
+  SimTime interval_;
+  SimTime end_ = SimTime::max();
+  EventHandle timer_;
+};
+
+// Wall-clock probe for the inet layer: call `poll(now_ns)` from the event
+// loop; a sample is taken whenever `interval_ns` has elapsed since the
+// last one.  Timestamps are emitted relative to the first poll.
+class WallClockProbe {
+ public:
+  WallClockProbe(MetricsRegistry& registry,
+                 std::vector<std::string> gauge_names,
+                 const std::string& csv_path, std::uint64_t interval_ns);
+
+  void poll(std::uint64_t now_ns);
+
+  std::size_t samples() const { return writer_.samples(); }
+
+ private:
+  ProbeWriter writer_;
+  std::uint64_t interval_ns_;
+  std::uint64_t epoch_ns_ = 0;
+  std::uint64_t next_ns_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dmp::obs

@@ -1,0 +1,41 @@
+// End-of-run summary: every counter, gauge, and histogram (with quantiles)
+// in a registry, plus caller-provided scalars and series (per-path splits,
+// late fractions, run parameters), serialized to one JSON file.
+//
+// The output is deterministic — maps are name-sorted — so report files
+// diff cleanly between runs and can be parsed by `scripts/` tooling or
+// loaded with any JSON library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dmp::obs {
+
+class RunReport {
+ public:
+  // Caller-provided summary values, emitted under "meta".
+  void set_scalar(const std::string& key, double v);
+  void set_scalar(const std::string& key, std::int64_t v);
+  void set_text(const std::string& key, const std::string& v);
+  // Numeric array, emitted under "series" (e.g. per-path packet splits).
+  void set_series(const std::string& key, const std::vector<double>& v);
+
+  // JSON object: {"meta":{...},"series":{...},"counters":{...},
+  // "gauges":{...},"histograms":{name:{count,sum,mean,min,max,p50,p90,
+  // p99}}}.  `registry` may be null (meta/series only).
+  std::string to_json(const MetricsRegistry* registry) const;
+
+  // Writes to_json() to `path`; throws on I/O failure.
+  void write(const std::string& path, const MetricsRegistry* registry) const;
+
+ private:
+  std::map<std::string, std::string> meta_;  // values pre-rendered as JSON
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace dmp::obs

@@ -1,5 +1,6 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,7 @@ EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
   if (when < now_) throw std::invalid_argument{"schedule_at: time in the past"};
   auto state = std::make_shared<EventHandle::State>();
   queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  max_pending_ = std::max(max_pending_, queue_.size());
   return EventHandle{std::move(state)};
 }
 
@@ -23,9 +25,13 @@ bool Scheduler::step(SimTime horizon) {
     // priority_queue provides no non-const top().
     Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (entry.state->done) continue;  // lazily-cancelled event
+    if (entry.state->done) {  // lazily-cancelled event
+      ++cancelled_;
+      continue;
+    }
     entry.state->done = true;
     now_ = entry.when;
+    ++executed_;
     entry.fn();
     return true;
   }

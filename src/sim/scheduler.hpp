@@ -63,6 +63,17 @@ class Scheduler {
   bool step(SimTime horizon = SimTime::max());
 
   std::size_t pending_events() const { return queue_.size(); }
+  std::size_t events_pending() const { return queue_.size(); }
+
+  // Lifetime work counters.  Lazily-cancelled entries popped off the heap
+  // are counted separately from executed events, so scheduler metrics
+  // distinguish real work from cancel skips (TCP timers are rescheduled on
+  // every ACK, so skips can rival executions).
+  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_cancelled() const { return cancelled_; }
+  std::uint64_t events_scheduled() const { return next_seq_; }
+  // High-water mark of the event queue.
+  std::size_t max_events_pending() const { return max_pending_; }
 
  private:
   struct Entry {
@@ -80,6 +91,9 @@ class Scheduler {
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t max_pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

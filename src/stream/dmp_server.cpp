@@ -14,14 +14,32 @@ DmpStreamingServer::DmpStreamingServer(Scheduler& sched, double mu_pps,
       end_(start + duration) {
   if (senders_.empty()) throw std::invalid_argument{"DMP needs >= 1 sender"};
   if (mu_pps <= 0) throw std::invalid_argument{"mu must be positive"};
+  pulls_.assign(senders_.size(), 0);
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
   sched_.schedule_at(start, [this] { generate(); });
 }
 
+void DmpStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
+                                        const std::string& prefix) {
+  m_generated_ = &registry.counter(prefix + ".generated");
+  m_pulls_.clear();
+  for (std::size_t k = 0; k < senders_.size(); ++k) {
+    m_pulls_.push_back(
+        &registry.counter(prefix + ".pulls.path" + std::to_string(k)));
+  }
+  registry.gauge(prefix + ".queue_depth").set_sampler([this] {
+    return static_cast<double>(queue_.size());
+  });
+  registry.gauge(prefix + ".max_queue_depth").set_sampler([this] {
+    return static_cast<double>(max_queue_);
+  });
+}
+
 void DmpStreamingServer::generate() {
   queue_.push_back(next_number_++);
+  if (m_generated_) m_generated_->inc();
   max_queue_ = std::max(max_queue_, queue_.size());
   offer_all();
   if (sched_.now() + period_ < end_) {
@@ -32,8 +50,19 @@ void DmpStreamingServer::generate() {
 void DmpStreamingServer::pull_into(std::size_t k) {
   // The sender fetches from the head of the server queue until it blocks
   // (buffer full) or the queue empties — exactly the Fig. 2 loop.
-  while (!queue_.empty() && senders_[k]->enqueue(queue_.front())) {
+  while (!queue_.empty()) {
+    const std::int64_t number = queue_.front();
+    if (!senders_[k]->enqueue(number)) break;
     queue_.pop_front();
+    ++pulls_[k];
+    if (!m_pulls_.empty()) m_pulls_[k]->inc();
+    if (event_log_ && event_log_->enabled(obs::Severity::kDebug)) {
+      event_log_->record(sched_.now().to_seconds(), obs::Severity::kDebug,
+                         "pull",
+                         {obs::EventField::num("path", k),
+                          obs::EventField::num("packet", number),
+                          obs::EventField::num("queue", queue_.size())});
+    }
   }
 }
 

@@ -11,8 +11,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/reno_sender.hpp"
 #include "util/sim_time.hpp"
@@ -33,6 +36,16 @@ class DmpStreamingServer {
   // Peak backlog observed in the server queue (diagnostic: bounded by
   // mu * (time TCP lags behind generation)).
   std::size_t max_queue_length() const { return max_queue_; }
+  // Packets fetched by sender k since the start of the run.
+  std::uint64_t pulls(std::size_t k) const { return pulls_[k]; }
+
+  // Registers `<prefix>.queue_depth` / `<prefix>.max_queue_depth` sampler
+  // gauges, the `<prefix>.generated` counter, and one `<prefix>.pulls.
+  // path<k>` counter per sender.  Optional; a no-op when never called.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+  // Emits per-pull "pull" events at kDebug severity.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
 
  private:
   void generate();
@@ -49,6 +62,11 @@ class DmpStreamingServer {
   std::int64_t next_number_ = 0;
   std::size_t rotate_ = 0;  // fairness when several senders have space
   std::size_t max_queue_ = 0;
+  std::vector<std::uint64_t> pulls_;
+
+  obs::Counter* m_generated_ = nullptr;
+  std::vector<obs::Counter*> m_pulls_;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace dmp

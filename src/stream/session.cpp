@@ -1,10 +1,13 @@
 #include "stream/session.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 
 #include "net/topology.hpp"
+#include "obs/probe.hpp"
+#include "obs/run_report.hpp"
 #include "sim/scheduler.hpp"
 #include "stream/dmp_server.hpp"
 #include "stream/static_server.hpp"
@@ -13,6 +16,38 @@
 #include "util/rng.hpp"
 
 namespace dmp {
+
+namespace {
+
+const char* scheme_name(StreamScheme scheme) {
+  switch (scheme) {
+    case StreamScheme::kDmp: return "dmp";
+    case StreamScheme::kStatic: return "static";
+    case StreamScheme::kStored: return "stored";
+  }
+  return "?";
+}
+
+// Registers the scheduler's work counters as sampler gauges so probes can
+// plot event-rate over time (the scheduler itself stays obs-free to keep
+// the sim -> obs dependency one-directional).
+void attach_scheduler_gauges(obs::MetricsRegistry& registry,
+                             const Scheduler& sched) {
+  registry.gauge("sched.events_pending").set_sampler([&sched] {
+    return static_cast<double>(sched.events_pending());
+  });
+  registry.gauge("sched.events_executed").set_sampler([&sched] {
+    return static_cast<double>(sched.events_executed());
+  });
+  registry.gauge("sched.events_cancelled").set_sampler([&sched] {
+    return static_cast<double>(sched.events_cancelled());
+  });
+  registry.gauge("sched.max_events_pending").set_sampler([&sched] {
+    return static_cast<double>(sched.max_events_pending());
+  });
+}
+
+}  // namespace
 
 SessionResult run_session(const SessionConfig& config) {
   if (config.path_configs.empty()) {
@@ -29,12 +64,28 @@ SessionResult run_session(const SessionConfig& config) {
   Scheduler sched;
   Rng rng(config.seed);
 
+  // --- observability (optional) ---
+  std::shared_ptr<obs::MetricsRegistry> registry;
+  std::shared_ptr<obs::EventLog> events;
+  if (config.obs.enabled) {
+    std::filesystem::create_directories(config.obs.output_dir);
+    registry = std::make_shared<obs::MetricsRegistry>();
+    events = std::make_shared<obs::EventLog>(config.obs.event_ring_capacity,
+                                             config.obs.min_severity);
+    attach_scheduler_gauges(*registry, sched);
+  }
+
   // --- network paths + background traffic ---
   std::vector<std::unique_ptr<DumbbellPath>> paths;
   std::vector<std::unique_ptr<BackgroundTraffic>> background;
   for (std::size_t i = 0; i < config.path_configs.size(); ++i) {
     paths.push_back(std::make_unique<DumbbellPath>(
         sched, config.path_configs[i].bottleneck()));
+    if (registry) {
+      const std::string prefix = "link.path" + std::to_string(i);
+      paths.back()->bottleneck().attach_metrics(*registry, prefix);
+      paths.back()->bottleneck().set_event_log(events.get());
+    }
     const FlowId first_bg = static_cast<FlowId>(1000 * (i + 1));
     background.push_back(std::make_unique<BackgroundTraffic>(
         sched, *paths.back(), config.path_configs[i], first_bg, rng.fork()));
@@ -54,15 +105,38 @@ SessionResult run_session(const SessionConfig& config) {
     video.push_back(
         make_connection(sched, static_cast<FlowId>(k), target, video_tcp));
     senders.push_back(video.back().sender.get());
+    if (registry) {
+      const std::string suffix = ".path" + std::to_string(k);
+      video.back().sender->attach_metrics(*registry, "tcp" + suffix);
+      video.back().sender->set_event_log(events.get());
+      video.back().sink->attach_metrics(*registry, "sink" + suffix);
+    }
   }
 
   const SimTime epoch = SimTime::seconds(config.warmup_s);
   StreamTrace trace(config.mu_pps);
   for (std::size_t k = 0; k < config.num_flows; ++k) {
     const auto path32 = static_cast<std::uint32_t>(k);
+    // Per-path arrival counter and end-to-end delay histogram (generation
+    // to in-order delivery, the quantity the late-fraction analysis binns).
+    obs::Counter* arrived = nullptr;
+    obs::Histogram* delay = nullptr;
+    if (registry) {
+      arrived = &registry->counter("client.path" + std::to_string(k) +
+                                   ".packets");
+      delay = &registry->histogram("client.delay_s");
+    }
     video[k].sink->set_deliver_callback(
-        [&trace, path32, &sched, epoch](std::int64_t tag, SimTime) {
-          if (tag >= 0) trace.record(tag, sched.now() - epoch, path32);
+        [&trace, path32, &sched, epoch, arrived, delay](std::int64_t tag,
+                                                        SimTime) {
+          if (tag < 0) return;
+          const SimTime arrival = sched.now() - epoch;
+          trace.record(tag, arrival, path32);
+          if (arrived) {
+            arrived->inc();
+            delay->observe(
+                (arrival - trace.generation_time(tag)).to_seconds());
+          }
         });
   }
 
@@ -77,26 +151,67 @@ SessionResult run_session(const SessionConfig& config) {
     case StreamScheme::kDmp:
       dmp_server = std::make_unique<DmpStreamingServer>(
           sched, config.mu_pps, senders, epoch, duration);
+      if (registry) {
+        dmp_server->attach_metrics(*registry, "server");
+        dmp_server->set_event_log(events.get());
+      }
       break;
     case StreamScheme::kStatic:
       static_server = std::make_unique<StaticStreamingServer>(
           sched, config.mu_pps, senders, epoch, duration,
           config.static_weights);
+      if (registry) static_server->attach_metrics(*registry, "server");
       break;
     case StreamScheme::kStored:
       // The whole video is on disk; transmission starts at the epoch.
-      sched.schedule_at(epoch, [&sched, &stored_server, senders,
-                                stored_total] {
+      sched.schedule_at(epoch, [&sched, &stored_server, senders, stored_total,
+                                registry] {
         stored_server = std::make_unique<StoredStreamingServer>(
             sched, stored_total, senders);
+        if (registry) stored_server->attach_metrics(*registry, "server");
       });
       break;
   }
 
   const SimTime horizon =
       epoch + duration + SimTime::seconds(config.drain_s);
+
+  // --- time-series probe (per-path cwnd / RTT / queues, server backlog) ---
+  std::unique_ptr<obs::Probe> probe;
   SessionResult result;
+  if (registry) {
+    std::vector<std::string> columns;
+    if (config.scheme == StreamScheme::kDmp) {
+      columns.push_back("server.queue_depth");
+    } else if (config.scheme == StreamScheme::kStatic) {
+      for (std::size_t k = 0; k < config.num_flows; ++k) {
+        columns.push_back("server.queue_depth.path" + std::to_string(k));
+      }
+    } else {
+      columns.push_back("server.remaining");
+    }
+    for (std::size_t k = 0; k < config.num_flows; ++k) {
+      const std::string path = ".path" + std::to_string(k);
+      columns.push_back("tcp" + path + ".cwnd");
+      columns.push_back("tcp" + path + ".ssthresh");
+      columns.push_back("tcp" + path + ".srtt_s");
+      columns.push_back("tcp" + path + ".buffered");
+    }
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      columns.push_back("link.path" + std::to_string(i) + ".queue_depth");
+    }
+    columns.push_back("sched.events_pending");
+    if (config.obs.probe_interval_s > 0.0) {
+      result.probe_csv_path = config.obs.probe_csv_path();
+      probe = std::make_unique<obs::Probe>(
+          sched, *registry, std::move(columns), result.probe_csv_path,
+          SimTime::seconds(config.obs.probe_interval_s));
+      probe->start(horizon);
+    }
+  }
+
   result.events_executed = sched.run_until(horizon);
+  if (probe) probe->stop();
 
   // --- per-path measurements (Table 2 / Table 3 rows) ---
   switch (config.scheme) {
@@ -127,6 +242,60 @@ SessionResult run_session(const SessionConfig& config) {
     result.paths.push_back(m);
   }
   result.trace = std::move(trace);
+
+  // --- end-of-run artifacts ---
+  if (registry) {
+    // The instrumented objects die with this scope; keep their last values.
+    registry->freeze_gauges();
+
+    result.events_path = config.obs.events_path();
+    events->write_jsonl(result.events_path);
+
+    obs::RunReport report;
+    report.set_text("scheme", scheme_name(config.scheme));
+    report.set_scalar("mu_pps", config.mu_pps);
+    report.set_scalar("duration_s", config.duration_s);
+    report.set_scalar("warmup_s", config.warmup_s);
+    report.set_scalar("num_flows",
+                      static_cast<std::int64_t>(config.num_flows));
+    report.set_scalar("seed", static_cast<std::int64_t>(config.seed));
+    report.set_scalar("packets_generated", result.packets_generated);
+    report.set_scalar("arrivals",
+                      static_cast<std::int64_t>(result.trace.arrivals()));
+    report.set_scalar("out_of_order_fraction",
+                      result.trace.out_of_order_fraction());
+    report.set_scalar("events_executed",
+                      static_cast<std::int64_t>(result.events_executed));
+    report.set_scalar("events_cancelled",
+                      static_cast<std::int64_t>(sched.events_cancelled()));
+    report.set_scalar("events_overwritten",
+                      static_cast<std::int64_t>(events->overwritten()));
+    report.set_series("path_split", split);
+    std::vector<double> loss, rtt, to_ratio;
+    for (const auto& m : result.paths) {
+      loss.push_back(m.loss_rate);
+      rtt.push_back(m.rtt_s);
+      to_ratio.push_back(m.to_ratio);
+    }
+    report.set_series("path_loss_rate", loss);
+    report.set_series("path_rtt_s", rtt);
+    report.set_series("path_to_ratio", to_ratio);
+    // Late fractions at a few startup delays, so a report alone answers
+    // "was this run healthy" without re-parsing the trace.
+    const std::vector<double> taus{2.0, 4.0, 6.0, 8.0, 10.0};
+    std::vector<double> late;
+    for (double tau : taus) {
+      late.push_back(result.trace.late_fraction_playback_order(
+          tau, result.packets_generated));
+    }
+    report.set_series("late_taus_s", taus);
+    report.set_series("late_fraction_playback", late);
+
+    result.report_path = config.obs.report_path();
+    report.write(result.report_path, registry.get());
+    result.metrics = std::move(registry);
+    result.events = std::move(events);
+  }
   return result;
 }
 

@@ -6,9 +6,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/background.hpp"
+#include "obs/config.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "stream/trace.hpp"
 #include "tcp/tcp_config.hpp"
 
@@ -45,6 +50,13 @@ struct SessionConfig {
   std::uint64_t seed = 1;
   TcpConfig video_tcp = default_video_tcp();
   std::vector<double> static_weights{};  // empty = even split
+  // Observability: when `obs.enabled`, the run attaches a metrics registry
+  // and event log to every layer (links, TCP agents, server, scheduler,
+  // client), samples gauges into `<prefix>_probe.csv` every
+  // `obs.probe_interval_s`, and writes `<prefix>_events.jsonl` plus a
+  // `<prefix>_report.json` summary at the end of the run.  Off by default:
+  // nothing is allocated or scheduled and the hot path is unchanged.
+  obs::ObsConfig obs{};
 };
 
 // Per-video-flow path statistics (one row of Table 2 / Table 3).
@@ -61,6 +73,14 @@ struct SessionResult {
   std::vector<PathMeasurement> paths;
   std::int64_t packets_generated = 0;
   std::uint64_t events_executed = 0;
+
+  // Populated only when the session ran with `obs.enabled`.  Gauges are
+  // frozen to their end-of-run values (the instrumented objects are gone).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::EventLog> events;
+  std::string report_path;
+  std::string probe_csv_path;
+  std::string events_path;
 
   SessionResult() : trace(1.0) {}
 };

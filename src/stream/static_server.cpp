@@ -33,6 +33,20 @@ StaticStreamingServer::StaticStreamingServer(Scheduler& sched, double mu_pps,
   sched_.schedule_at(start, [this] { generate(); });
 }
 
+void StaticStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
+                                           const std::string& prefix) {
+  m_generated_ = &registry.counter(prefix + ".generated");
+  m_pulls_.clear();
+  for (std::size_t k = 0; k < senders_.size(); ++k) {
+    m_pulls_.push_back(
+        &registry.counter(prefix + ".pulls.path" + std::to_string(k)));
+    registry.gauge(prefix + ".queue_depth.path" + std::to_string(k))
+        .set_sampler([this, k] {
+          return static_cast<double>(queues_[k].size());
+        });
+  }
+}
+
 std::size_t StaticStreamingServer::assign_path() {
   // Deficit (weighted) round-robin: packet n goes to the path furthest
   // behind its target share.  Equal weights reduce to plain round-robin
@@ -55,6 +69,7 @@ std::size_t StaticStreamingServer::assign_path() {
 void StaticStreamingServer::generate() {
   const std::size_t k = assign_path();
   queues_[k].push_back(next_number_++);
+  if (m_generated_) m_generated_->inc();
   pull_into(k);
   if (sched_.now() + period_ < end_) {
     sched_.schedule_after(period_, [this] { generate(); });
@@ -64,6 +79,7 @@ void StaticStreamingServer::generate() {
 void StaticStreamingServer::pull_into(std::size_t k) {
   while (!queues_[k].empty() && senders_[k]->enqueue(queues_[k].front())) {
     queues_[k].pop_front();
+    if (!m_pulls_.empty()) m_pulls_[k]->inc();
   }
 }
 

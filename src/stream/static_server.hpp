@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/reno_sender.hpp"
 #include "util/sim_time.hpp"
@@ -27,6 +29,12 @@ class StaticStreamingServer {
   std::int64_t packets_generated() const { return next_number_; }
   std::size_t queue_length(std::size_t k) const { return queues_[k].size(); }
 
+  // Registers the `<prefix>.generated` counter, per-path `<prefix>.pulls.
+  // path<k>` counters and `<prefix>.queue_depth.path<k>` sampler gauges.
+  // Optional; a no-op when never called.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+
  private:
   void generate();
   void pull_into(std::size_t k);
@@ -42,6 +50,9 @@ class StaticStreamingServer {
 
   std::vector<std::deque<std::int64_t>> queues_;
   std::int64_t next_number_ = 0;
+
+  obs::Counter* m_generated_ = nullptr;
+  std::vector<obs::Counter*> m_pulls_;
 };
 
 }  // namespace dmp

@@ -18,9 +18,26 @@ StoredStreamingServer::StoredStreamingServer(Scheduler& sched,
   for (std::size_t k = 0; k < senders_.size(); ++k) pull_into(k);
 }
 
+void StoredStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
+                                           const std::string& prefix) {
+  m_dispatched_ = &registry.counter(prefix + ".dispatched");
+  m_pulls_.clear();
+  for (std::size_t k = 0; k < senders_.size(); ++k) {
+    m_pulls_.push_back(
+        &registry.counter(prefix + ".pulls.path" + std::to_string(k)));
+  }
+  registry.gauge(prefix + ".remaining").set_sampler([this] {
+    return static_cast<double>(total_ - next_number_);
+  });
+}
+
 void StoredStreamingServer::pull_into(std::size_t k) {
   while (next_number_ < total_ && senders_[k]->enqueue(next_number_)) {
     ++next_number_;
+    if (!m_pulls_.empty()) {
+      m_pulls_[k]->inc();
+      m_dispatched_->inc();
+    }
   }
 }
 

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/reno_sender.hpp"
 
@@ -30,12 +32,21 @@ class StoredStreamingServer {
   std::int64_t packets_dispatched() const { return next_number_; }
   bool finished() const { return next_number_ == total_; }
 
+  // Registers the `<prefix>.dispatched` counter, per-path `<prefix>.pulls.
+  // path<k>` counters and a `<prefix>.remaining` sampler gauge.  Optional;
+  // a no-op when never called.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+
  private:
   void pull_into(std::size_t k);
 
   std::vector<RenoSender*> senders_;
   std::int64_t total_;
   std::int64_t next_number_ = 0;
+
+  std::vector<obs::Counter*> m_pulls_;
+  obs::Counter* m_dispatched_ = nullptr;
 };
 
 }  // namespace dmp

@@ -43,6 +43,7 @@ void RenoSender::emit(std::int64_t seq) {
   ++s.times_sent;
   if (s.times_sent == 1) {
     ++stats_.data_packets_sent;
+    if (m_data_sent_) m_data_sent_->inc();
     snd_max_ = std::max(snd_max_, seq + 1);
     if (!timing_) {
       timing_ = true;
@@ -51,6 +52,7 @@ void RenoSender::emit(std::int64_t seq) {
     }
   } else {
     ++stats_.retransmissions;
+    if (m_retransmissions_) m_retransmissions_->inc();
     // Karn: never sample a segment that has been retransmitted.
     if (timing_ && seq == rtt_seq_) timing_ = false;
   }
@@ -116,7 +118,8 @@ void RenoSender::rtt_sample(SimTime sample) {
 }
 
 void RenoSender::open_cwnd(std::int64_t newly_acked) {
-  if (cwnd_ < ssthresh_) {
+  const bool was_slow_start = cwnd_ < ssthresh_;
+  if (was_slow_start) {
     // Slow start: one segment per ACK event; delayed ACKs naturally slow
     // the doubling to ~1.5x per RTT, as in real stacks.
     cwnd_ += 1.0;
@@ -124,10 +127,26 @@ void RenoSender::open_cwnd(std::int64_t newly_acked) {
     cwnd_ += static_cast<double>(newly_acked) / cwnd_;
   }
   cwnd_ = std::min(cwnd_, config_.max_cwnd);
+  if (was_slow_start && cwnd_ >= ssthresh_ && event_log_ &&
+      event_log_->enabled(obs::Severity::kInfo)) {
+    event_log_->record(sched_.now().to_seconds(), obs::Severity::kInfo,
+                       "ss_to_ca",
+                       {obs::EventField::num("flow", flow_),
+                        obs::EventField::num("cwnd", cwnd_),
+                        obs::EventField::num("ssthresh", ssthresh_)});
+  }
 }
 
 void RenoSender::on_ack(const Packet& ack) {
   ++stats_.acks_received;
+  if (m_acks_) {
+    m_acks_->inc();
+    if (seen_ack_) {
+      m_ack_interarrival_->observe((sched_.now() - last_ack_at_).to_seconds());
+    }
+    seen_ack_ = true;
+    last_ack_at_ = sched_.now();
+  }
   const std::int64_t ackno = std::min(ack.seq, snd_max_);
 
   if (ackno > snd_una_) {
@@ -173,6 +192,14 @@ void RenoSender::on_ack(const Packet& ack) {
 
 void RenoSender::enter_fast_recovery() {
   ++stats_.fast_retransmits;
+  if (m_fast_retransmits_) m_fast_retransmits_->inc();
+  if (event_log_ && event_log_->enabled(obs::Severity::kInfo)) {
+    event_log_->record(sched_.now().to_seconds(), obs::Severity::kInfo,
+                       "fast_retransmit",
+                       {obs::EventField::num("flow", flow_),
+                        obs::EventField::num("seq", snd_una_),
+                        obs::EventField::num("cwnd", cwnd_)});
+  }
   ssthresh_ = std::max(std::floor(cwnd_ / 2.0), 2.0);
   cwnd_ = ssthresh_ + 3.0;
   in_recovery_ = true;
@@ -189,6 +216,16 @@ void RenoSender::on_rto() {
     ++stats_.rto_at_timeout_count;
   }
   ++stats_.timeouts;
+  if (m_timeouts_) m_timeouts_->inc();
+  if (event_log_ && event_log_->enabled(obs::Severity::kWarn)) {
+    event_log_->record(sched_.now().to_seconds(), obs::Severity::kWarn, "rto",
+                       {obs::EventField::num("flow", flow_),
+                        obs::EventField::num("snd_una", snd_una_),
+                        obs::EventField::num("cwnd", cwnd_),
+                        obs::EventField::num("backoff", backoff_),
+                        obs::EventField::num("rto_s",
+                                             current_rto().to_seconds())});
+  }
 
   ssthresh_ = std::max(std::floor(cwnd_ / 2.0), 2.0);
   cwnd_ = 1.0;
@@ -199,6 +236,27 @@ void RenoSender::on_rto() {
   snd_nxt_ = snd_una_;  // go-back-N
   arm_rto();
   try_send();
+}
+
+void RenoSender::attach_metrics(obs::MetricsRegistry& registry,
+                                const std::string& prefix) {
+  m_data_sent_ = &registry.counter(prefix + ".data_packets_sent");
+  m_retransmissions_ = &registry.counter(prefix + ".retransmissions");
+  m_timeouts_ = &registry.counter(prefix + ".timeouts");
+  m_fast_retransmits_ = &registry.counter(prefix + ".fast_retransmits");
+  m_acks_ = &registry.counter(prefix + ".acks_received");
+  m_ack_interarrival_ = &registry.histogram(prefix + ".ack_interarrival_s");
+  registry.gauge(prefix + ".cwnd").set_sampler([this] { return cwnd_; });
+  registry.gauge(prefix + ".ssthresh").set_sampler([this] {
+    return ssthresh_;
+  });
+  registry.gauge(prefix + ".srtt_s").set_sampler([this] { return srtt_s_; });
+  registry.gauge(prefix + ".rto_s").set_sampler([this] {
+    return current_rto().to_seconds();
+  });
+  registry.gauge(prefix + ".buffered").set_sampler([this] {
+    return static_cast<double>(segments_.size());
+  });
 }
 
 void RenoSender::idle_restart() {

@@ -9,8 +9,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "net/packet.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_config.hpp"
 #include "util/rng.hpp"
@@ -53,6 +56,17 @@ class RenoSender {
   // Reset cwnd after an application idle period (slow-start restart); used
   // by the HTTP background source between transfers.
   void idle_restart();
+
+  // --- observability (all optional; no-ops when never called) ---
+  // Registers `<prefix>.{cwnd,ssthresh,srtt_s,rto_s,buffered}` sampler
+  // gauges, `<prefix>.{data_packets_sent,retransmissions,timeouts,
+  // fast_retransmits,acks_received}` counters mirroring `stats()`, and the
+  // `<prefix>.ack_interarrival_s` histogram.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+  // Emits "rto" (kWarn), "fast_retransmit" (kInfo) and "ss_to_ca" phase-
+  // transition (kInfo) events tagged with this sender's flow id.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
 
  private:
   struct Segment {
@@ -107,6 +121,16 @@ class RenoSender {
   SimTime last_emission_ = SimTime::zero();  // keeps jittered sends FIFO
 
   TcpSenderStats stats_;
+
+  obs::Counter* m_data_sent_ = nullptr;
+  obs::Counter* m_retransmissions_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;
+  obs::Counter* m_fast_retransmits_ = nullptr;
+  obs::Counter* m_acks_ = nullptr;
+  obs::Histogram* m_ack_interarrival_ = nullptr;
+  SimTime last_ack_at_ = SimTime::zero();
+  bool seen_ack_ = false;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 }  // namespace dmp

@@ -6,8 +6,19 @@ TcpSink::TcpSink(Scheduler& sched, FlowId flow, TcpConfig config,
                  PacketHandler ack_out)
     : sched_(sched), flow_(flow), config_(config), ack_out_(std::move(ack_out)) {}
 
+void TcpSink::attach_metrics(obs::MetricsRegistry& registry,
+                             const std::string& prefix) {
+  m_received_ = &registry.counter(prefix + ".segments_received");
+  m_duplicates_ = &registry.counter(prefix + ".duplicate_segments");
+  m_out_of_order_ = &registry.counter(prefix + ".out_of_order_segments");
+  registry.gauge(prefix + ".reorder_buffer").set_sampler([this] {
+    return static_cast<double>(reorder_buffer_.size());
+  });
+}
+
 void TcpSink::on_data(const Packet& p) {
   ++segments_received_;
+  if (m_received_) m_received_->inc();
 
   if (p.seq == rcv_nxt_) {
     const bool filled_gap = !reorder_buffer_.empty();
@@ -34,6 +45,7 @@ void TcpSink::on_data(const Packet& p) {
 
   if (p.seq > rcv_nxt_) {
     ++out_of_order_segments_;
+    if (m_out_of_order_) m_out_of_order_->inc();
     reorder_buffer_.emplace(p.seq, p.app_tag);
     send_ack();  // duplicate ACK, immediately
     return;
@@ -41,6 +53,7 @@ void TcpSink::on_data(const Packet& p) {
 
   // Segment below rcv_nxt_: spurious retransmission.
   ++duplicate_segments_;
+  if (m_duplicates_) m_duplicates_->inc();
   send_ack();
 }
 

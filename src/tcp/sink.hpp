@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_config.hpp"
 
@@ -31,6 +33,12 @@ class TcpSink {
   std::uint64_t duplicate_segments() const { return duplicate_segments_; }
   std::uint64_t out_of_order_segments() const { return out_of_order_segments_; }
 
+  // Registers `<prefix>.{segments_received,duplicate_segments,
+  // out_of_order_segments}` counters and a `<prefix>.reorder_buffer`
+  // sampler gauge.  Optional; a no-op when never called.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+
  private:
   void send_ack();
   void schedule_delack();
@@ -49,6 +57,10 @@ class TcpSink {
   std::uint64_t segments_received_ = 0;
   std::uint64_t duplicate_segments_ = 0;
   std::uint64_t out_of_order_segments_ = 0;
+
+  obs::Counter* m_received_ = nullptr;
+  obs::Counter* m_duplicates_ = nullptr;
+  obs::Counter* m_out_of_order_ = nullptr;
 };
 
 }  // namespace dmp

@@ -7,12 +7,8 @@
 namespace dmp {
 
 void RunningStats::add(double x) {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
   ++n_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
@@ -37,6 +33,10 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
 
 double RunningStats::variance() const {
   return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);

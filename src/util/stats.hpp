@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace dmp {
@@ -20,16 +21,19 @@ class RunningStats {
   // Unbiased sample variance; 0 when fewer than two samples.
   double variance() const;
   double stddev() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
+  // 0 when empty.  Internally the extrema start at +/-infinity, so merging
+  // an empty accumulator can never clamp an all-positive or all-negative
+  // sample set toward 0.
+  double min() const;
+  double max() const;
   double sum() const;
 
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 // Two-sided Student-t critical value at the given confidence level

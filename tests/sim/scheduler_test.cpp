@@ -103,6 +103,39 @@ TEST(Scheduler, ReschedulingPatternLikeTcpTimer) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(Scheduler, CountsExecutedAndCancelledSeparately) {
+  Scheduler sched;
+  auto doomed = sched.schedule_at(SimTime::millis(5), [] {});
+  sched.schedule_at(SimTime::millis(10), [] {});
+  sched.schedule_at(SimTime::millis(20), [] {});
+  EXPECT_EQ(sched.events_pending(), 3u);
+  EXPECT_EQ(sched.events_scheduled(), 3u);
+
+  doomed.cancel();
+  // Lazy cancellation: the entry stays in the heap until popped, so it
+  // still counts as pending until the run drains it.
+  EXPECT_EQ(sched.events_pending(), 3u);
+
+  sched.run();
+  EXPECT_EQ(sched.events_executed(), 2u);
+  EXPECT_EQ(sched.events_cancelled(), 1u);
+  EXPECT_EQ(sched.events_pending(), 0u);
+  EXPECT_EQ(sched.max_events_pending(), 3u);
+}
+
+TEST(Scheduler, MaxPendingTracksHighWater) {
+  Scheduler sched;
+  // Burst of 5, drained, then a burst of 2: high water must stay at 5.
+  for (int i = 0; i < 5; ++i) sched.schedule_at(SimTime::millis(i + 1), [] {});
+  sched.run();
+  sched.schedule_at(SimTime::millis(100), [] {});
+  sched.schedule_at(SimTime::millis(101), [] {});
+  sched.run();
+  EXPECT_EQ(sched.max_events_pending(), 5u);
+  EXPECT_EQ(sched.events_executed(), 7u);
+  EXPECT_EQ(sched.events_cancelled(), 0u);
+}
+
 TEST(Scheduler, StepHonorsHorizon) {
   Scheduler sched;
   sched.schedule_at(SimTime::millis(10), [] {});

@@ -27,6 +27,54 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStats, EmptyMergeSemantics) {
+  // Merging an empty accumulator must be an identity in both directions —
+  // in particular the empty side's min/max sentinels must never clamp the
+  // populated side's extrema.
+  RunningStats a;
+  for (double x : {3.0, 5.0, 7.0}) a.add(x);
+
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  EXPECT_DOUBLE_EQ(b.max(), 7.0);
+
+  RunningStats c, d;
+  c.merge(d);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_DOUBLE_EQ(c.min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max(), 0.0);
+}
+
+TEST(RunningStats, SignedExtremaNotClampedToZero) {
+  // All-negative data: a zero-initialised max would win incorrectly.
+  RunningStats neg;
+  for (double x : {-4.0, -2.0, -9.0}) neg.add(x);
+  EXPECT_DOUBLE_EQ(neg.min(), -9.0);
+  EXPECT_DOUBLE_EQ(neg.max(), -2.0);
+
+  // All-positive data: a zero-initialised min would win incorrectly.
+  RunningStats pos;
+  for (double x : {4.0, 2.0, 9.0}) pos.add(x);
+  EXPECT_DOUBLE_EQ(pos.min(), 2.0);
+  EXPECT_DOUBLE_EQ(pos.max(), 9.0);
+
+  RunningStats merged;
+  merged.merge(neg);
+  merged.merge(pos);
+  EXPECT_DOUBLE_EQ(merged.min(), -9.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 9.0);
+}
+
 TEST(RunningStats, MergeEqualsConcatenation) {
   RunningStats a, b, all;
   Rng rng(1);
