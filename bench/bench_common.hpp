@@ -29,6 +29,10 @@ struct Knobs {
   // first replication of each figure.
   bool obs = env_int("DMP_OBS", 0) != 0;
   double obs_probe_interval_s = env_double("DMP_OBS_PROBE_S", 1.0);
+  // DMP_TRACE=1 additionally attaches the per-packet flight recorder to
+  // the first replication and writes `<prefix>_trace.jsonl` (inspect with
+  // `trace_query`).  Works with or without DMP_OBS.
+  bool trace = env_int("DMP_TRACE", 0) != 0;
 };
 
 inline void banner(const std::string& title) {

@@ -41,8 +41,9 @@ inline void run_validation_figure(const ValidationSetting& setting,
     auto config =
         session_for(setting, knobs.duration_s,
                     knobs.seed + 1000 + static_cast<std::uint64_t>(run) * 97);
-    if (knobs.obs && run == 0) {
-      config.obs.enabled = true;
+    if ((knobs.obs || knobs.trace) && run == 0) {
+      config.obs.enabled = knobs.obs;
+      config.obs.flight_recorder = knobs.trace;
       config.obs.output_dir = bench_output_dir();
       config.obs.prefix = figure_name + "_" + setting.name + "_obs";
       config.obs.probe_interval_s = knobs.obs_probe_interval_s;
@@ -54,6 +55,9 @@ inline void run_validation_figure(const ValidationSetting& setting,
         std::printf(", %s", result.probe_csv_path.c_str());
       }
       std::printf(", %s\n", result.events_path.c_str());
+    }
+    if (!result.trace_path.empty()) {
+      std::printf("flight trace: %s\n", result.trace_path.c_str());
     }
     for (double tau : scatter_taus) {
       const double fp = result.trace.late_fraction_playback_order(

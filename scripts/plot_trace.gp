@@ -1,0 +1,37 @@
+# Renders per-packet views from a flight-recorder trace
+# (<prefix>_trace.jsonl written by a DMP_TRACE=1 bench run or any session
+# with obs.flight_recorder set).  Run from the repo root:
+#
+#   gnuplot -e "trace='bench_out/fig4_4-4_trace.jsonl'" scripts/plot_trace.gp
+#
+# Produces, next to the trace:
+#   <base>_delay.png — per-packet end-to-end delay vs packet number, by path
+#   <base>_cwnd.png  — per-path congestion window over time, drops marked
+# Requires gnuplot >= 5 and awk (scripts/trace_extract.awk).
+if (!exists("trace")) trace = "bench_out/run_trace.jsonl"
+base = trace[1:strlen(trace)-6]
+
+extract(mode) = sprintf("< awk -v mode=%s -f scripts/trace_extract.awk '%s'", \
+                        mode, trace)
+
+set terminal pngcairo size 900,600 font ",11"
+set key top right
+set grid
+
+# --- generation-to-arrival delay per packet ---
+set output sprintf("%s_delay.png", base)
+set xlabel "packet number"
+set ylabel "end-to-end delay (s)"
+set title "per-packet generation-to-arrival delay (color = path)"
+plot extract("delay") using 1:2:($3+1) with points pt 7 ps 0.4 lc variable \
+     notitle
+
+# --- congestion windows with drop instants ---
+set output sprintf("%s_cwnd.png", base)
+set xlabel "time since video epoch (s)"
+set ylabel "congestion window (packets)"
+set title "per-path cwnd at each transmission; drops marked at y = 1"
+plot extract("cwnd") using 1:2:($3+1) with points pt 7 ps 0.3 lc variable \
+       notitle, \
+     extract("drops") using 1:(1.0) with points pt 4 ps 1.2 lc rgb "red" \
+       title "drop-tail drop"

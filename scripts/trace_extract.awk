@@ -1,0 +1,38 @@
+#!/usr/bin/awk -f
+# Extracts plottable columns from a flight-recorder JSONL trace
+# (<prefix>_trace.jsonl — schema in docs/OBSERVABILITY.md).  Used by
+# scripts/plot_trace.gp; also handy standalone:
+#
+#   awk -v mode=delay -f scripts/trace_extract.awk trace.jsonl
+#
+# Modes (whitespace-separated columns on stdout):
+#   delay: <packet> <end-to-end delay s> <path>   one row per arrival
+#   cwnd:  <time s since epoch> <cwnd> <path>     one row per tcp_tx
+#   drops: <time s since epoch> <hop> <path>      one row per link_drop
+
+function num(key,    m) {
+  if (match($0, "\"" key "\":-?[0-9.eE+-]+")) {
+    m = substr($0, RSTART, RLENGTH)
+    sub(/.*:/, "", m)
+    return m + 0
+  }
+  return -1
+}
+
+function is(ev) { return index($0, "\"ev\":\"" ev "\"") > 0 }
+
+is("meta") { epoch = num("epoch_ns"); next }
+mode == "delay" && is("gen") { gen[num("pkt")] = num("t_ns"); next }
+mode == "delay" && is("arrive") {
+  p = num("pkt")
+  if (p in gen) print p, (num("t_ns") - gen[p]) / 1e9, num("path")
+  next
+}
+mode == "cwnd" && is("tcp_tx") {
+  print (num("t_ns") - epoch) / 1e9, num("cwnd"), num("path")
+  next
+}
+mode == "drops" && is("link_drop") {
+  print (num("t_ns") - epoch) / 1e9, num("hop"), num("path")
+  next
+}

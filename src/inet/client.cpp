@@ -136,6 +136,15 @@ ClientReport DmpInetClient::run() {
                                                     frame.generated_ns, now,
                                                     path32});
                          ++path.received;
+                         if (config_.flight) {
+                           obs::FlightEvent e;
+                           e.t_ns = static_cast<std::int64_t>(now);
+                           e.kind = obs::FlightEventKind::kArrive;
+                           e.packet =
+                               static_cast<std::int64_t>(frame.packet_number);
+                           e.path = static_cast<std::int32_t>(path32);
+                           config_.flight->record(e);
+                         }
                          if (!m_frames.empty()) m_frames[k]->inc();
                          if (m_delay && now >= frame.generated_ns) {
                            m_delay->observe(
@@ -156,6 +165,12 @@ ClientReport DmpInetClient::run() {
         arrivals.front().generated_ns -
         static_cast<std::uint64_t>(std::llround(
             static_cast<double>(arrivals.front().number) * period_ns));
+    if (config_.flight) {
+      // Same epoch the server stamped into the frames, so the two traces
+      // (server-side and client-side) line up without clock negotiation.
+      config_.flight->set_meta(config_.mu_pps,
+                               static_cast<std::int64_t>(t0));
+    }
     for (const auto& a : arrivals) {
       report.trace.record(
           static_cast<std::int64_t>(a.number),

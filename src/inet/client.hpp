@@ -12,6 +12,7 @@
 
 #include "inet/framing.hpp"
 #include "inet/socket.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "stream/trace.hpp"
 
@@ -30,6 +31,13 @@ struct ClientConfig {
   // per-path `client.path<k>.frames` counters and a `client.delay_s`
   // histogram of generation-to-arrival delay.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional per-packet flight recorder (not owned; may be null).  Records
+  // one kArrive event per reassembled frame with wall-clock
+  // (CLOCK_MONOTONIC) t_ns; meta is set at the end of run() to the
+  // generation epoch recovered from the frame headers, so it matches the
+  // server-side recorder's epoch exactly.  NOT thread-safe: use a separate
+  // recorder per thread.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct ClientReport {

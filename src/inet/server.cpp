@@ -57,6 +57,15 @@ bool DmpInetServer::pump_connection(Connection& conn) {
     const Frame frame = queue_.front();
     queue_.pop_front();
     if (conn.pulls) conn.pulls->inc();
+    if (config_.flight) {
+      obs::FlightEvent e;
+      e.t_ns = static_cast<std::int64_t>(monotonic_ns());
+      e.kind = obs::FlightEventKind::kPull;
+      e.packet = static_cast<std::int64_t>(frame.packet_number);
+      e.path = conn.path;
+      e.queue = static_cast<std::int64_t>(queue_.size());
+      config_.flight->record(e);
+    }
     conn.partial.assign(config_.frame_bytes, 0);
     encode_frame_header(frame, conn.partial.data());
     conn.partial_offset = 0;
@@ -101,6 +110,7 @@ ServerStats DmpInetServer::run() {
     Connection conn;
     conn.fd = std::move(fd);
     if (!m_pulls.empty()) conn.pulls = m_pulls[i];
+    conn.path = static_cast<std::int32_t>(i);
     connections.push_back(std::move(conn));
     if (config_.events && config_.events->enabled(obs::Severity::kInfo)) {
       config_.events->record(elapsed_s(), obs::Severity::kInfo, "accept",
@@ -115,6 +125,10 @@ ServerStats DmpInetServer::run() {
   const double period_ns = 1e9 / config_.mu_pps;
   const std::uint64_t t0 = monotonic_ns();
   stats.stream_start_ns = t0;
+  if (config_.flight) {
+    config_.flight->set_meta(config_.mu_pps, static_cast<std::int64_t>(t0),
+                             total_packets);
+  }
   std::int64_t generated = 0;
   std::size_t rotate = 0;
 
@@ -132,6 +146,14 @@ ServerStats DmpInetServer::run() {
       queue_.push_back(Frame{static_cast<std::uint64_t>(generated), due});
       ++generated;
       if (m_generated) m_generated->inc();
+      if (config_.flight) {
+        obs::FlightEvent e;
+        e.t_ns = static_cast<std::int64_t>(now);
+        e.kind = obs::FlightEventKind::kGenerate;
+        e.packet = generated - 1;
+        e.queue = static_cast<std::int64_t>(queue_.size());
+        config_.flight->record(e);
+      }
     }
     stats.max_queue_packets = std::max(stats.max_queue_packets, queue_.size());
     if (wall_probe) wall_probe->poll(now);

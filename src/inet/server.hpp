@@ -18,6 +18,7 @@
 #include "inet/framing.hpp"
 #include "inet/socket.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace dmp::inet {
@@ -42,6 +43,12 @@ struct ServerConfig {
   obs::EventLog* events = nullptr;
   double probe_interval_s = 0.0;
   std::string probe_csv_path;
+  // Optional per-packet flight recorder (not owned; may be null).  Records
+  // kGenerate / kPull span events with wall-clock (CLOCK_MONOTONIC) t_ns
+  // and sets meta to the generation epoch.  The recorder is NOT thread-safe:
+  // give the server and the client (usually on another thread) separate
+  // recorders.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct ServerStats {
@@ -73,6 +80,7 @@ class DmpInetServer {
     std::size_t partial_offset = 0;
     std::uint64_t sent_frames = 0;
     obs::Counter* pulls = nullptr;  // set when ServerConfig::metrics is
+    std::int32_t path = -1;         // accept order = path index
   };
 
   // Writes queued data into `conn` until EAGAIN or nothing left; returns

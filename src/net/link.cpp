@@ -11,6 +11,18 @@ Link::Link(Scheduler& sched, LinkConfig config)
   }
 }
 
+void Link::record_flight(const Packet& p, obs::FlightEventKind kind) {
+  obs::FlightEvent e;
+  e.t_ns = sched_.now().ns();
+  e.kind = kind;
+  e.packet = p.app_tag;
+  e.path = static_cast<std::int32_t>(p.flow);
+  e.hop = flight_hop_;
+  e.seq = p.seq;
+  e.queue = static_cast<std::int64_t>(queue_.size());
+  flight_->record(e);
+}
+
 void Link::send(const Packet& p) {
   ++total_arrivals_;
   if (m_arrivals_) m_arrivals_->inc();
@@ -18,6 +30,9 @@ void Link::send(const Packet& p) {
   ++fc.arrivals;
 
   if (!transmitting_ && queue_.empty()) {
+    if (flight_ && p.app_tag >= 0) {
+      record_flight(p, obs::FlightEventKind::kLinkEnqueue);
+    }
     start_transmission(p);
     return;
   }
@@ -32,12 +47,21 @@ void Link::send(const Packet& p) {
                           obs::EventField::num("seq", p.seq),
                           obs::EventField::num("queue", queue_.size())});
     }
+    if (flight_ && p.app_tag >= 0) {
+      record_flight(p, obs::FlightEventKind::kLinkDrop);
+    }
     return;
+  }
+  if (flight_ && p.app_tag >= 0) {
+    record_flight(p, obs::FlightEventKind::kLinkEnqueue);
   }
   queue_.push_back(p);
 }
 
 void Link::start_transmission(const Packet& p) {
+  if (flight_ && p.app_tag >= 0) {
+    record_flight(p, obs::FlightEventKind::kLinkDequeue);
+  }
   transmitting_ = true;
   in_flight_ = p;
   const SimTime tx = transmission_time(p.size_bytes, config_.bandwidth_bps);

@@ -10,6 +10,7 @@
 
 #include "net/packet.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "util/sim_time.hpp"
@@ -62,6 +63,13 @@ class Link {
                       const std::string& prefix);
   // Emits a kWarn "drop" event per drop-tail discard.
   void set_event_log(obs::EventLog* log) { event_log_ = log; }
+  // Records per-stream-packet queue entry/exit/drop span events (packets
+  // with app_tag < 0 — ACKs, background traffic — are ignored).  `hop`
+  // identifies this link in the trace.
+  void set_flight_recorder(obs::FlightRecorder* recorder, std::int32_t hop) {
+    flight_ = recorder;
+    flight_hop_ = hop;
+  }
 
  private:
   void start_transmission(const Packet& p);
@@ -80,10 +88,14 @@ class Link {
   SimTime busy_time_ = SimTime::zero();
   std::unordered_map<FlowId, LinkFlowCounters> per_flow_;
 
+  void record_flight(const Packet& p, obs::FlightEventKind kind);
+
   obs::Counter* m_arrivals_ = nullptr;
   obs::Counter* m_drops_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
   obs::EventLog* event_log_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::int32_t flight_hop_ = -1;
 };
 
 }  // namespace dmp

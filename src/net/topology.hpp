@@ -53,6 +53,12 @@ class DumbbellPath final : public NetworkPath {
   // Measurement hooks.
   const Link& bottleneck() const { return *bottleneck_; }
   Link& bottleneck() { return *bottleneck_; }
+  // Attaches a flight recorder to every forward link: hop 0 = per-flow
+  // entry access link (including ones attached later), hop 1 = shared
+  // bottleneck, hop 2 = exit access link.  Reverse (ACK) links carry no
+  // stream packets and are left untouched.  Optional; a no-op when never
+  // called.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
   // Base (zero-queueing) round-trip propagation+transmission latency in
   // seconds for a data packet + returning ACK; diagnostics only.
   double base_rtt_seconds() const;
@@ -71,6 +77,8 @@ class DumbbellPath final : public NetworkPath {
   std::unique_ptr<Link> rev_exit_;
   FlowDemux rev_demux_;
   std::vector<std::unique_ptr<Link>> rev_entry_links_;
+
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dmp

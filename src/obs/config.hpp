@@ -23,6 +23,10 @@ struct ObsConfig {
   // Ring-buffer capacity for the event log (0 = unbounded).
   std::size_t event_ring_capacity = 65536;
   Severity min_severity = Severity::kInfo;
+  // Per-packet lifecycle tracing (the flight recorder).  Orthogonal to
+  // `enabled`: either toggle brings up the obs layer, but the JSONL trace
+  // in `<prefix>_trace.jsonl` is written only when this one is set.
+  bool flight_recorder = false;
 
   std::string report_path() const {
     return output_dir + "/" + prefix + "_report.json";
@@ -32,6 +36,9 @@ struct ObsConfig {
   }
   std::string events_path() const {
     return output_dir + "/" + prefix + "_events.jsonl";
+  }
+  std::string trace_path() const {
+    return output_dir + "/" + prefix + "_trace.jsonl";
   }
 };
 

@@ -112,13 +112,20 @@ void EventLog::to_jsonl(std::ostream& out) const {
   }
 }
 
-void EventLog::write_jsonl(const std::string& path) const {
+bool EventLog::write_jsonl(const std::string& path) const {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error{"cannot open event log output: " + path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open event log output: %s\n",
+                 path.c_str());
+    return false;
+  }
   to_jsonl(out);
   if (!out.flush()) {
-    throw std::runtime_error{"failed writing event log: " + path};
+    std::fprintf(stderr, "warning: failed writing event log: %s\n",
+                 path.c_str());
+    return false;
   }
+  return true;
 }
 
 }  // namespace dmp::obs

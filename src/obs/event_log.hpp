@@ -79,8 +79,10 @@ class EventLog {
   const std::deque<Event>& events() const { return events_; }
 
   void to_jsonl(std::ostream& out) const;
-  // Writes all retained events as JSON Lines; throws on I/O failure.
-  void write_jsonl(const std::string& path) const;
+  // Writes all retained events as JSON Lines.  I/O failure is reported on
+  // stderr and returns false (never throws) — losing a log artifact must
+  // not abort the run that produced it.
+  bool write_jsonl(const std::string& path) const;
 
  private:
   std::size_t ring_capacity_;

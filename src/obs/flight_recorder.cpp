@@ -1,0 +1,122 @@
+#include "obs/flight_recorder.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+namespace dmp::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 12);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+std::string_view flight_event_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kGenerate: return "gen";
+    case FlightEventKind::kPull: return "pull";
+    case FlightEventKind::kTcpEnqueue: return "tcp_enq";
+    case FlightEventKind::kTcpSend: return "tcp_tx";
+    case FlightEventKind::kLinkEnqueue: return "link_enq";
+    case FlightEventKind::kLinkDequeue: return "link_deq";
+    case FlightEventKind::kLinkDrop: return "link_drop";
+    case FlightEventKind::kRto: return "rto";
+    case FlightEventKind::kSinkRx: return "sink_rx";
+    case FlightEventKind::kDeliver: return "deliver";
+    case FlightEventKind::kArrive: return "arrive";
+  }
+  return "?";
+}
+
+std::string_view rtx_reason_name(RtxReason reason) {
+  switch (reason) {
+    case RtxReason::kNone: return "none";
+    case RtxReason::kFastRtx: return "fast";
+    case RtxReason::kRtoRtx: return "rto";
+  }
+  return "?";
+}
+
+void FlightRecorder::to_jsonl(std::ostream& out) const {
+  std::string line;
+  line += "{\"ev\":\"meta\",\"version\":1,\"mu_pps\":";
+  line += format_double(mu_pps_);
+  line += ",\"epoch_ns\":";
+  line += std::to_string(epoch_ns_);
+  line += ",\"total_packets\":";
+  line += std::to_string(total_packets_);
+  line += ",\"events\":";
+  line += std::to_string(events_.size());
+  line += "}\n";
+  out << line;
+
+  for (const FlightEvent& e : events_) {
+    line.clear();
+    line += "{\"t_ns\":";
+    line += std::to_string(e.t_ns);
+    line += ",\"ev\":\"";
+    line += flight_event_name(e.kind);
+    line += "\",\"pkt\":";
+    line += std::to_string(e.packet);
+    if (e.path >= 0) {
+      line += ",\"path\":";
+      line += std::to_string(e.path);
+    }
+    if (e.hop >= 0) {
+      line += ",\"hop\":";
+      line += std::to_string(e.hop);
+    }
+    if (e.seq >= 0) {
+      line += ",\"seq\":";
+      line += std::to_string(e.seq);
+    }
+    if (e.queue >= 0) {
+      line += ",\"queue\":";
+      line += std::to_string(e.queue);
+    }
+    if (e.attempt > 0) {
+      line += ",\"attempt\":";
+      line += std::to_string(e.attempt);
+    }
+    if (e.reason != RtxReason::kNone) {
+      line += ",\"reason\":\"";
+      line += rtx_reason_name(e.reason);
+      line += '"';
+    }
+    if (e.kind == FlightEventKind::kTcpSend ||
+        e.kind == FlightEventKind::kRto) {
+      line += ",\"cwnd\":";
+      line += format_double(e.cwnd);
+      line += ",\"ssthresh\":";
+      line += format_double(e.ssthresh);
+    }
+    line += "}\n";
+    out << line;
+  }
+}
+
+bool FlightRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "flight recorder: cannot open %s\n", path.c_str());
+    return false;
+  }
+  to_jsonl(out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "flight recorder: failed writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dmp::obs

@@ -32,6 +32,8 @@ class ProbeWriter {
 
   std::size_t samples() const { return samples_; }
   const std::string& path() const { return csv_.path(); }
+  // False once any sample row failed to reach the file (see CsvWriter).
+  bool ok() const { return csv_.ok(); }
 
  private:
   std::vector<Gauge*> gauges_;
@@ -55,6 +57,7 @@ class Probe {
 
   std::size_t samples() const { return writer_.samples(); }
   const std::string& path() const { return writer_.path(); }
+  bool ok() const { return writer_.ok(); }
 
  private:
   void tick();
@@ -78,6 +81,7 @@ class WallClockProbe {
   void poll(std::uint64_t now_ns);
 
   std::size_t samples() const { return writer_.samples(); }
+  bool ok() const { return writer_.ok(); }
 
  private:
   ProbeWriter writer_;

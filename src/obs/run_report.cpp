@@ -1,6 +1,7 @@
 #include "obs/run_report.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -115,12 +116,20 @@ std::string RunReport::to_json(const MetricsRegistry* registry) const {
   return out;
 }
 
-void RunReport::write(const std::string& path,
+bool RunReport::write(const std::string& path,
                       const MetricsRegistry* registry) const {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error{"cannot open run report output: " + path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open run report output: %s\n",
+                 path.c_str());
+    return false;
+  }
   out << to_json(registry);
-  if (!out.flush()) throw std::runtime_error{"failed writing report: " + path};
+  if (!out.flush()) {
+    std::fprintf(stderr, "warning: failed writing report: %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dmp::obs

@@ -30,8 +30,10 @@ class RunReport {
   // p99}}}.  `registry` may be null (meta/series only).
   std::string to_json(const MetricsRegistry* registry) const;
 
-  // Writes to_json() to `path`; throws on I/O failure.
-  void write(const std::string& path, const MetricsRegistry* registry) const;
+  // Writes to_json() to `path`.  I/O failure is reported on stderr and
+  // returns false (never throws) — losing the report must not abort the
+  // run that produced it.
+  bool write(const std::string& path, const MetricsRegistry* registry) const;
 
  private:
   std::map<std::string, std::string> meta_;  // values pre-rendered as JSON

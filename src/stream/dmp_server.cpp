@@ -38,9 +38,18 @@ void DmpStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
 }
 
 void DmpStreamingServer::generate() {
-  queue_.push_back(next_number_++);
+  const std::int64_t number = next_number_++;
+  queue_.push_back(number);
   if (m_generated_) m_generated_->inc();
   max_queue_ = std::max(max_queue_, queue_.size());
+  if (flight_) {
+    obs::FlightEvent e;
+    e.t_ns = sched_.now().ns();
+    e.kind = obs::FlightEventKind::kGenerate;
+    e.packet = number;
+    e.queue = static_cast<std::int64_t>(queue_.size());
+    flight_->record(e);
+  }
   offer_all();
   if (sched_.now() + period_ < end_) {
     sched_.schedule_after(period_, [this] { generate(); });
@@ -49,13 +58,23 @@ void DmpStreamingServer::generate() {
 
 void DmpStreamingServer::pull_into(std::size_t k) {
   // The sender fetches from the head of the server queue until it blocks
-  // (buffer full) or the queue empties — exactly the Fig. 2 loop.
-  while (!queue_.empty()) {
+  // (buffer full) or the queue empties — exactly the Fig. 2 loop.  The
+  // fetch is recorded before enqueue() so trace lines stay in lifecycle
+  // order (enqueue itself emits the tcp/link events).
+  while (!queue_.empty() && senders_[k]->space() > 0) {
     const std::int64_t number = queue_.front();
-    if (!senders_[k]->enqueue(number)) break;
     queue_.pop_front();
     ++pulls_[k];
     if (!m_pulls_.empty()) m_pulls_[k]->inc();
+    if (flight_) {
+      obs::FlightEvent e;
+      e.t_ns = sched_.now().ns();
+      e.kind = obs::FlightEventKind::kPull;
+      e.packet = number;
+      e.path = static_cast<std::int32_t>(k);
+      e.queue = static_cast<std::int64_t>(queue_.size());
+      flight_->record(e);
+    }
     if (event_log_ && event_log_->enabled(obs::Severity::kDebug)) {
       event_log_->record(sched_.now().to_seconds(), obs::Severity::kDebug,
                          "pull",
@@ -63,6 +82,7 @@ void DmpStreamingServer::pull_into(std::size_t k) {
                           obs::EventField::num("packet", number),
                           obs::EventField::num("queue", queue_.size())});
     }
+    senders_[k]->enqueue(number);
   }
 }
 

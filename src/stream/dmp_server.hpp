@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/reno_sender.hpp"
@@ -46,6 +47,12 @@ class DmpStreamingServer {
                       const std::string& prefix);
   // Emits per-pull "pull" events at kDebug severity.
   void set_event_log(obs::EventLog* log) { event_log_ = log; }
+  // Records per-stream-packet birth (kGenerate, with the shared-queue depth)
+  // and sender fetch (kPull, with the chosen path) span events.  Optional;
+  // a no-op when never called.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
 
  private:
   void generate();
@@ -67,6 +74,7 @@ class DmpStreamingServer {
   obs::Counter* m_generated_ = nullptr;
   std::vector<obs::Counter*> m_pulls_;
   obs::EventLog* event_log_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dmp

@@ -67,12 +67,18 @@ SessionResult run_session(const SessionConfig& config) {
   // --- observability (optional) ---
   std::shared_ptr<obs::MetricsRegistry> registry;
   std::shared_ptr<obs::EventLog> events;
-  if (config.obs.enabled) {
+  std::shared_ptr<obs::FlightRecorder> flight;
+  if (config.obs.enabled || config.obs.flight_recorder) {
     std::filesystem::create_directories(config.obs.output_dir);
+  }
+  if (config.obs.enabled) {
     registry = std::make_shared<obs::MetricsRegistry>();
     events = std::make_shared<obs::EventLog>(config.obs.event_ring_capacity,
                                              config.obs.min_severity);
     attach_scheduler_gauges(*registry, sched);
+  }
+  if (config.obs.flight_recorder) {
+    flight = std::make_shared<obs::FlightRecorder>();
   }
 
   // --- network paths + background traffic ---
@@ -86,6 +92,7 @@ SessionResult run_session(const SessionConfig& config) {
       paths.back()->bottleneck().attach_metrics(*registry, prefix);
       paths.back()->bottleneck().set_event_log(events.get());
     }
+    if (flight) paths.back()->set_flight_recorder(flight.get());
     const FlowId first_bg = static_cast<FlowId>(1000 * (i + 1));
     background.push_back(std::make_unique<BackgroundTraffic>(
         sched, *paths.back(), config.path_configs[i], first_bg, rng.fork()));
@@ -111,9 +118,14 @@ SessionResult run_session(const SessionConfig& config) {
       video.back().sender->set_event_log(events.get());
       video.back().sink->attach_metrics(*registry, "sink" + suffix);
     }
+    if (flight) {
+      video.back().sender->set_flight_recorder(flight.get());
+      video.back().sink->set_flight_recorder(flight.get());
+    }
   }
 
   const SimTime epoch = SimTime::seconds(config.warmup_s);
+  if (flight) flight->set_meta(config.mu_pps, epoch.ns());
   StreamTrace trace(config.mu_pps);
   for (std::size_t k = 0; k < config.num_flows; ++k) {
     const auto path32 = static_cast<std::uint32_t>(k);
@@ -126,12 +138,21 @@ SessionResult run_session(const SessionConfig& config) {
                                    ".packets");
       delay = &registry->histogram("client.delay_s");
     }
+    obs::FlightRecorder* fr = flight.get();
     video[k].sink->set_deliver_callback(
-        [&trace, path32, &sched, epoch, arrived, delay](std::int64_t tag,
-                                                        SimTime) {
+        [&trace, path32, &sched, epoch, arrived, delay, fr](std::int64_t tag,
+                                                            SimTime) {
           if (tag < 0) return;
           const SimTime arrival = sched.now() - epoch;
           trace.record(tag, arrival, path32);
+          if (fr) {
+            obs::FlightEvent e;
+            e.t_ns = sched.now().ns();
+            e.kind = obs::FlightEventKind::kArrive;
+            e.packet = tag;
+            e.path = static_cast<std::int32_t>(path32);
+            fr->record(e);
+          }
           if (arrived) {
             arrived->inc();
             delay->observe(
@@ -155,19 +176,21 @@ SessionResult run_session(const SessionConfig& config) {
         dmp_server->attach_metrics(*registry, "server");
         dmp_server->set_event_log(events.get());
       }
+      if (flight) dmp_server->set_flight_recorder(flight.get());
       break;
     case StreamScheme::kStatic:
       static_server = std::make_unique<StaticStreamingServer>(
           sched, config.mu_pps, senders, epoch, duration,
           config.static_weights);
       if (registry) static_server->attach_metrics(*registry, "server");
+      if (flight) static_server->set_flight_recorder(flight.get());
       break;
     case StreamScheme::kStored:
       // The whole video is on disk; transmission starts at the epoch.
       sched.schedule_at(epoch, [&sched, &stored_server, senders, stored_total,
-                                registry] {
+                                registry, fr = flight.get()] {
         stored_server = std::make_unique<StoredStreamingServer>(
-            sched, stored_total, senders);
+            sched, stored_total, senders, fr);
         if (registry) stored_server->attach_metrics(*registry, "server");
       });
       break;
@@ -244,12 +267,23 @@ SessionResult run_session(const SessionConfig& config) {
   result.trace = std::move(trace);
 
   // --- end-of-run artifacts ---
+  if (flight) {
+    flight->set_total_packets(result.packets_generated);
+    result.trace_path = config.obs.trace_path();
+    if (!flight->write_jsonl(result.trace_path)) {
+      ++result.artifact_write_failures;
+    }
+    result.flight = std::move(flight);
+  }
+  if (probe && !probe->ok()) ++result.artifact_write_failures;
   if (registry) {
     // The instrumented objects die with this scope; keep their last values.
     registry->freeze_gauges();
 
     result.events_path = config.obs.events_path();
-    events->write_jsonl(result.events_path);
+    if (!events->write_jsonl(result.events_path)) {
+      ++result.artifact_write_failures;
+    }
 
     obs::RunReport report;
     report.set_text("scheme", scheme_name(config.scheme));
@@ -268,8 +302,17 @@ SessionResult run_session(const SessionConfig& config) {
                       static_cast<std::int64_t>(result.events_executed));
     report.set_scalar("events_cancelled",
                       static_cast<std::int64_t>(sched.events_cancelled()));
+    report.set_scalar("max_events_pending",
+                      static_cast<std::int64_t>(sched.max_events_pending()));
     report.set_scalar("events_overwritten",
                       static_cast<std::int64_t>(events->overwritten()));
+    // Artifact-write health: non-zero status means at least one artifact
+    // (trace, probe CSV, event log) failed to reach disk before this report.
+    report.set_scalar("io_errors",
+                      static_cast<std::int64_t>(result.artifact_write_failures));
+    report.set_scalar("status",
+                      result.artifact_write_failures == 0 ? std::int64_t{0}
+                                                          : std::int64_t{1});
     report.set_series("path_split", split);
     std::vector<double> loss, rtt, to_ratio;
     for (const auto& m : result.paths) {
@@ -292,7 +335,9 @@ SessionResult run_session(const SessionConfig& config) {
     report.set_series("late_fraction_playback", late);
 
     result.report_path = config.obs.report_path();
-    report.write(result.report_path, registry.get());
+    if (!report.write(result.report_path, registry.get())) {
+      ++result.artifact_write_failures;
+    }
     result.metrics = std::move(registry);
     result.events = std::move(events);
   }

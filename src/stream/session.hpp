@@ -13,6 +13,7 @@
 #include "apps/background.hpp"
 #include "obs/config.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "stream/trace.hpp"
 #include "tcp/tcp_config.hpp"
@@ -81,6 +82,17 @@ struct SessionResult {
   std::string report_path;
   std::string probe_csv_path;
   std::string events_path;
+
+  // Populated only when the session ran with `obs.flight_recorder`: the
+  // in-memory per-packet lifecycle trace and the JSONL path it was written
+  // to (feed either to `obs::TraceAnalyzer` / `trace_query`).
+  std::shared_ptr<obs::FlightRecorder> flight;
+  std::string trace_path;
+
+  // Artifacts (events/probe/report/trace) that failed to reach disk.
+  // Writers warn on stderr and the count lands in the report's
+  // `meta.io_errors` / `meta.status`; the run itself never aborts.
+  int artifact_write_failures = 0;
 
   SessionResult() : trace(1.0) {}
 };

@@ -68,8 +68,18 @@ std::size_t StaticStreamingServer::assign_path() {
 
 void StaticStreamingServer::generate() {
   const std::size_t k = assign_path();
-  queues_[k].push_back(next_number_++);
+  const std::int64_t number = next_number_++;
+  queues_[k].push_back(number);
   if (m_generated_) m_generated_->inc();
+  if (flight_) {
+    obs::FlightEvent e;
+    e.t_ns = sched_.now().ns();
+    e.kind = obs::FlightEventKind::kGenerate;
+    e.packet = number;
+    e.path = static_cast<std::int32_t>(k);
+    e.queue = static_cast<std::int64_t>(queues_[k].size());
+    flight_->record(e);
+  }
   pull_into(k);
   if (sched_.now() + period_ < end_) {
     sched_.schedule_after(period_, [this] { generate(); });
@@ -77,9 +87,22 @@ void StaticStreamingServer::generate() {
 }
 
 void StaticStreamingServer::pull_into(std::size_t k) {
-  while (!queues_[k].empty() && senders_[k]->enqueue(queues_[k].front())) {
+  // Fetch recorded before enqueue() so trace lines stay in lifecycle order
+  // (enqueue itself emits the tcp/link events).
+  while (!queues_[k].empty() && senders_[k]->space() > 0) {
+    const std::int64_t number = queues_[k].front();
     queues_[k].pop_front();
     if (!m_pulls_.empty()) m_pulls_[k]->inc();
+    if (flight_) {
+      obs::FlightEvent e;
+      e.t_ns = sched_.now().ns();
+      e.kind = obs::FlightEventKind::kPull;
+      e.packet = number;
+      e.path = static_cast<std::int32_t>(k);
+      e.queue = static_cast<std::int64_t>(queues_[k].size());
+      flight_->record(e);
+    }
+    senders_[k]->enqueue(number);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/reno_sender.hpp"
@@ -35,6 +36,13 @@ class StaticStreamingServer {
   void attach_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix);
 
+  // Records per-stream-packet birth (kGenerate, with the chosen path and
+  // that path's private-queue depth) and sender fetch (kPull) span events.
+  // Optional; a no-op when never called.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
  private:
   void generate();
   void pull_into(std::size_t k);
@@ -53,6 +61,7 @@ class StaticStreamingServer {
 
   obs::Counter* m_generated_ = nullptr;
   std::vector<obs::Counter*> m_pulls_;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dmp

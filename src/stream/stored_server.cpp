@@ -6,9 +6,12 @@ namespace dmp {
 
 StoredStreamingServer::StoredStreamingServer(Scheduler& sched,
                                              std::int64_t total_packets,
-                                             std::vector<RenoSender*> senders)
-    : senders_(std::move(senders)), total_(total_packets) {
-  (void)sched;  // kept for interface symmetry with the live server
+                                             std::vector<RenoSender*> senders,
+                                             obs::FlightRecorder* flight)
+    : sched_(sched),
+      senders_(std::move(senders)),
+      total_(total_packets),
+      flight_(flight) {
   if (senders_.empty()) throw std::invalid_argument{"need >= 1 sender"};
   if (total_ <= 0) throw std::invalid_argument{"video must be non-empty"};
   for (std::size_t k = 0; k < senders_.size(); ++k) {
@@ -32,12 +35,24 @@ void StoredStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
 }
 
 void StoredStreamingServer::pull_into(std::size_t k) {
-  while (next_number_ < total_ && senders_[k]->enqueue(next_number_)) {
-    ++next_number_;
+  // Fetch recorded before enqueue() so trace lines stay in lifecycle order
+  // (enqueue itself emits the tcp/link events).
+  while (next_number_ < total_ && senders_[k]->space() > 0) {
+    const std::int64_t number = next_number_++;
     if (!m_pulls_.empty()) {
       m_pulls_[k]->inc();
       m_dispatched_->inc();
     }
+    if (flight_) {
+      obs::FlightEvent e;
+      e.t_ns = sched_.now().ns();
+      e.kind = obs::FlightEventKind::kPull;
+      e.packet = number;
+      e.path = static_cast<std::int32_t>(k);
+      e.queue = total_ - next_number_;
+      flight_->record(e);
+    }
+    senders_[k]->enqueue(number);
   }
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/reno_sender.hpp"
@@ -24,9 +25,13 @@ class StoredStreamingServer {
  public:
   // Streams packets [0, total_packets) over the given senders, starting
   // immediately; `mu_pps` is kept only for bookkeeping symmetry with the
-  // live server (the send rate is whatever TCP achieves).
+  // live server (the send rate is whatever TCP achieves).  The optional
+  // `flight` recorder is taken as a constructor argument because the
+  // constructor already primes every sender — a post-construction setter
+  // would miss those first pulls.
   StoredStreamingServer(Scheduler& sched, std::int64_t total_packets,
-                        std::vector<RenoSender*> senders);
+                        std::vector<RenoSender*> senders,
+                        obs::FlightRecorder* flight = nullptr);
 
   std::int64_t packets_total() const { return total_; }
   std::int64_t packets_dispatched() const { return next_number_; }
@@ -41,12 +46,14 @@ class StoredStreamingServer {
  private:
   void pull_into(std::size_t k);
 
+  Scheduler& sched_;
   std::vector<RenoSender*> senders_;
   std::int64_t total_;
   std::int64_t next_number_ = 0;
 
   std::vector<obs::Counter*> m_pulls_;
   obs::Counter* m_dispatched_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dmp

@@ -25,6 +25,16 @@ std::size_t RenoSender::space() const {
 bool RenoSender::enqueue(std::int64_t app_tag) {
   if (space() == 0) return false;
   segments_.push_back(Segment{app_tag, 0});
+  if (flight_ && app_tag >= 0) {
+    obs::FlightEvent e;
+    e.t_ns = sched_.now().ns();
+    e.kind = obs::FlightEventKind::kTcpEnqueue;
+    e.packet = app_tag;
+    e.path = static_cast<std::int32_t>(flow_);
+    e.seq = enq_end() - 1;
+    e.queue = static_cast<std::int64_t>(segments_.size());
+    flight_->record(e);
+  }
   try_send();
   return true;
 }
@@ -55,6 +65,24 @@ void RenoSender::emit(std::int64_t seq) {
     if (m_retransmissions_) m_retransmissions_->inc();
     // Karn: never sample a segment that has been retransmitted.
     if (timing_ && seq == rtt_seq_) timing_ = false;
+  }
+  if (flight_ && s.app_tag >= 0) {
+    obs::FlightEvent e;
+    e.t_ns = sched_.now().ns();
+    e.kind = obs::FlightEventKind::kTcpSend;
+    e.packet = s.app_tag;
+    e.path = static_cast<std::int32_t>(flow_);
+    e.seq = seq;
+    e.attempt = s.times_sent;
+    // Retransmissions from fast recovery carry kFastRtx; go-back-N resends
+    // after a timeout (in_recovery_ already cleared) carry kRtoRtx.
+    if (s.times_sent > 1) {
+      e.reason = in_recovery_ ? obs::RtxReason::kFastRtx
+                              : obs::RtxReason::kRtoRtx;
+    }
+    e.cwnd = cwnd_;
+    e.ssthresh = ssthresh_;
+    flight_->record(e);
   }
 
   Packet p;
@@ -225,6 +253,19 @@ void RenoSender::on_rto() {
                         obs::EventField::num("backoff", backoff_),
                         obs::EventField::num("rto_s",
                                              current_rto().to_seconds())});
+  }
+  if (flight_) {
+    // Flow-level stall marker with the pre-collapse window; the packet at
+    // snd_una is the one the timeout fired for.
+    obs::FlightEvent e;
+    e.t_ns = sched_.now().ns();
+    e.kind = obs::FlightEventKind::kRto;
+    e.packet = segments_.front().app_tag;
+    e.path = static_cast<std::int32_t>(flow_);
+    e.seq = snd_una_;
+    e.cwnd = cwnd_;
+    e.ssthresh = ssthresh_;
+    flight_->record(e);
   }
 
   ssthresh_ = std::max(std::floor(cwnd_ / 2.0), 2.0);

@@ -13,6 +13,7 @@
 
 #include "net/packet.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_config.hpp"
@@ -67,6 +68,12 @@ class RenoSender {
   // Emits "rto" (kWarn), "fast_retransmit" (kInfo) and "ss_to_ca" phase-
   // transition (kInfo) events tagged with this sender's flow id.
   void set_event_log(obs::EventLog* log) { event_log_ = log; }
+  // Records per-stream-packet send-buffer enqueues and (re)transmissions
+  // (with cwnd/ssthresh snapshots and the recovery mechanism), plus
+  // flow-level RTO span events, into the flight recorder.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
 
  private:
   struct Segment {
@@ -131,6 +138,7 @@ class RenoSender {
   SimTime last_ack_at_ = SimTime::zero();
   bool seen_ack_ = false;
   obs::EventLog* event_log_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dmp

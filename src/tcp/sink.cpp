@@ -16,17 +16,38 @@ void TcpSink::attach_metrics(obs::MetricsRegistry& registry,
   });
 }
 
+void TcpSink::record_flight(obs::FlightEventKind kind, std::int64_t app_tag,
+                            std::int64_t seq) {
+  obs::FlightEvent e;
+  e.t_ns = sched_.now().ns();
+  e.kind = kind;
+  e.packet = app_tag;
+  e.path = static_cast<std::int32_t>(flow_);
+  e.seq = seq;
+  e.queue = static_cast<std::int64_t>(reorder_buffer_.size());
+  flight_->record(e);
+}
+
 void TcpSink::on_data(const Packet& p) {
   ++segments_received_;
   if (m_received_) m_received_->inc();
+  if (flight_ && p.app_tag >= 0) {
+    record_flight(obs::FlightEventKind::kSinkRx, p.app_tag, p.seq);
+  }
 
   if (p.seq == rcv_nxt_) {
     const bool filled_gap = !reorder_buffer_.empty();
+    if (flight_ && p.app_tag >= 0) {
+      record_flight(obs::FlightEventKind::kDeliver, p.app_tag, p.seq);
+    }
     if (deliver_) deliver_(p.app_tag, sched_.now());
     ++rcv_nxt_;
     // Release any buffered segments that are now in order.
     auto it = reorder_buffer_.begin();
     while (it != reorder_buffer_.end() && it->first == rcv_nxt_) {
+      if (flight_ && it->second >= 0) {
+        record_flight(obs::FlightEventKind::kDeliver, it->second, it->first);
+      }
       if (deliver_) deliver_(it->second, sched_.now());
       ++rcv_nxt_;
       it = reorder_buffer_.erase(it);

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_config.hpp"
@@ -39,9 +40,19 @@ class TcpSink {
   void attach_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix);
 
+  // Records per-stream-packet receiver span events: segment arrival
+  // (kSinkRx, possibly out of order) and in-order cumulative-ACK release
+  // (kDeliver).  The gap between the two is reorder-buffer (head-of-line)
+  // wait.  Optional; a no-op when never called.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
  private:
   void send_ack();
   void schedule_delack();
+  void record_flight(obs::FlightEventKind kind, std::int64_t app_tag,
+                     std::int64_t seq);
 
   Scheduler& sched_;
   FlowId flow_;
@@ -61,6 +72,7 @@ class TcpSink {
   obs::Counter* m_received_ = nullptr;
   obs::Counter* m_duplicates_ = nullptr;
   obs::Counter* m_out_of_order_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dmp

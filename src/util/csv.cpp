@@ -1,6 +1,7 @@
 #include "util/csv.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
@@ -25,7 +26,10 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
     out_ << cells[i];
   }
   out_ << '\n';
-  out_.flush();
+  if (!out_.flush() && !write_failed_) {
+    write_failed_ = true;
+    std::fprintf(stderr, "warning: CSV write failed: %s\n", path_.c_str());
+  }
 }
 
 std::string CsvWriter::num(double v) {

@@ -15,7 +15,13 @@ class CsvWriter {
   CsvWriter(const std::string& path, const std::vector<std::string>& columns);
 
   // Appends one row; the number of cells must match the header width.
+  // Write errors after a successful open (disk full, file deleted) are
+  // reported once on stderr and latch `ok()` false instead of throwing —
+  // a broken artifact must not abort the run that produced it.
   void row(const std::vector<std::string>& cells);
+
+  // False once any row failed to reach the file.
+  bool ok() const { return !write_failed_; }
 
   // Convenience: formats doubles with enough digits to round-trip.
   static std::string num(double v);
@@ -27,6 +33,7 @@ class CsvWriter {
   std::string path_;
   std::ofstream out_;
   std::size_t width_;
+  bool write_failed_ = false;
 };
 
 // Resolves the output directory for bench CSVs: $DMP_OUT_DIR or "bench_out".

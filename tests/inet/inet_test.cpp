@@ -55,6 +55,48 @@ TEST(Framing, RejectsTinyFrames) {
   EXPECT_THROW(FrameParser(8), std::invalid_argument);
 }
 
+TEST(Framing, PartialHeaderStaysPendingUntilCompleted) {
+  Frame in{42, 1234567};
+  unsigned char buffer[kFrameHeaderBytes] = {};
+  encode_frame_header(in, buffer);
+
+  FrameParser parser(kFrameHeaderBytes);
+  int frames = 0;
+  parser.feed(buffer, kFrameHeaderBytes - 1, [&](const Frame&) { ++frames; });
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(parser.pending_bytes(), kFrameHeaderBytes - 1);
+
+  // The final byte completes the frame with the header intact.
+  parser.feed(buffer + kFrameHeaderBytes - 1, 1, [&](const Frame& f) {
+    ++frames;
+    EXPECT_EQ(f.packet_number, in.packet_number);
+    EXPECT_EQ(f.generated_ns, in.generated_ns);
+  });
+  EXPECT_EQ(frames, 1);
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(Framing, TruncatedFinalFrameNeverEmits) {
+  // A connection that dies mid-frame must deliver every complete frame and
+  // surface the truncated tail only as pending bytes.
+  const std::size_t frame_bytes = 48;
+  std::vector<unsigned char> wire(frame_bytes * 2, 0);
+  encode_frame_header(Frame{7, 700}, wire.data());
+  encode_frame_header(Frame{8, 800}, wire.data() + frame_bytes);
+  const std::size_t cut = frame_bytes + frame_bytes / 2;
+
+  FrameParser parser(frame_bytes);
+  std::vector<Frame> out;
+  parser.feed(wire.data(), cut, [&](const Frame& f) { out.push_back(f); });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packet_number, 7u);
+  EXPECT_EQ(parser.pending_bytes(), cut - frame_bytes);
+
+  // Zero-length reads (EOF polling) change nothing.
+  parser.feed(wire.data(), 0, [&](const Frame&) { FAIL(); });
+  EXPECT_EQ(parser.pending_bytes(), cut - frame_bytes);
+}
+
 // Runs a server and client concurrently over loopback.
 std::pair<ServerStats, ClientReport> stream_loopback(ServerConfig server_cfg,
                                                      ClientConfig client_cfg) {

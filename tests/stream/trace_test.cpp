@@ -85,6 +85,38 @@ TEST(StreamTrace, LateFractionMonotoneInTau) {
   EXPECT_DOUBLE_EQ(prev, 0.0);
 }
 
+TEST(StreamTrace, ZeroArrivalsMakeEveryPacketLate) {
+  StreamTrace t(10.0);
+  // Nothing arrived: every generated packet missed its deadline no matter
+  // how generous the startup delay.
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(100.0, 50), 1.0);
+  EXPECT_DOUBLE_EQ(t.late_fraction_arrival_order(100.0, 50), 1.0);
+  EXPECT_DOUBLE_EQ(t.out_of_order_fraction(), 0.0);
+  const auto split = t.path_split(2);
+  EXPECT_DOUBLE_EQ(split[0], 0.0);
+  EXPECT_DOUBLE_EQ(split[1], 0.0);
+}
+
+TEST(StreamTrace, NonPositiveTotalYieldsZeroLateFraction) {
+  StreamTrace t(10.0);
+  t.record(0, SimTime::seconds(100.0), 0);
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(0.5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(0.5, -3), 0.0);
+  EXPECT_DOUBLE_EQ(t.late_fraction_arrival_order(0.5, 0), 0.0);
+}
+
+TEST(StreamTrace, DuplicateArrivalsEachCountAgainstTheirDeadline) {
+  StreamTrace t(10.0);
+  // Packet 0 is recorded twice (e.g. a spurious retransmission reached the
+  // client): each copy is evaluated against packet 0's deadline, and the
+  // duplicate also counts toward `seen` — pinning the current tally.
+  t.record(0, SimTime::seconds(0.05), 0);  // on time for tau = 1
+  t.record(0, SimTime::seconds(5.0), 1);   // late for tau = 1
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(1.0, 2), 0.5);
+  // tau = 10 puts both copies on time; nothing is charged as missing.
+  EXPECT_DOUBLE_EQ(t.late_fraction_playback_order(10.0, 2), 0.0);
+}
+
 TEST(StreamTrace, RejectsNonPositiveMu) {
   EXPECT_THROW(StreamTrace(0.0), std::invalid_argument);
   EXPECT_THROW(StreamTrace(-5.0), std::invalid_argument);

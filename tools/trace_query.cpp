@@ -1,0 +1,231 @@
+// trace_query: offline inspection of flight-recorder traces.
+//
+//   trace_query summary <trace.jsonl> [--tau=SECONDS]
+//       meta, arrival totals, late fraction and the deadline-miss cause
+//       breakdown at startup delay tau (default 4 s)
+//   trace_query packet <trace.jsonl> <number>
+//       one packet's full lifecycle timeline, station by station
+//   trace_query paths <trace.jsonl>
+//       per-path delivery counts, drops/retransmissions/RTOs and
+//       bottleneck-queue wait percentiles
+//   trace_query rtx <trace.jsonl>
+//       every packet that needed more than one transmission
+//   trace_query causes <trace.jsonl> [--tau=SECONDS] [--limit=N]
+//       the late packets themselves with their dominant cause
+//
+// Exit status: 0 on success, 1 on bad usage, 2 on a malformed trace.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace_analyzer.hpp"
+
+namespace {
+
+using dmp::obs::AttributionReport;
+using dmp::obs::FlightRecorder;
+using dmp::obs::LateCause;
+using dmp::obs::late_cause_name;
+using dmp::obs::PacketTimeline;
+using dmp::obs::rtx_reason_name;
+using dmp::obs::TraceAnalyzer;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_query <summary|packet|paths|rtx|causes> <trace.jsonl> "
+      "[args]\n"
+      "  summary <trace> [--tau=S]          late fraction + cause breakdown\n"
+      "  packet  <trace> <number>           one packet's timeline\n"
+      "  paths   <trace>                    per-path stats\n"
+      "  rtx     <trace>                    retransmitted packets\n"
+      "  causes  <trace> [--tau=S] [--limit=N]  late packets with causes\n");
+}
+
+double parse_flag(int argc, char** argv, const char* name, double fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atof(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+// Station timestamps are absolute recorder-clock ns; print them relative
+// to the generation epoch so they read as stream time.
+double rel_s(const TraceAnalyzer& az, std::int64_t t_ns) {
+  return static_cast<double>(t_ns - az.epoch_ns()) * 1e-9;
+}
+
+void print_attribution(const TraceAnalyzer& az, const AttributionReport& rep,
+                       double tau_s) {
+  std::printf("tau            %.3f s\n", tau_s);
+  std::printf("total packets  %lld\n",
+              static_cast<long long>(rep.total_packets));
+  std::printf("arrived        %lld\n", static_cast<long long>(rep.arrived));
+  std::printf("late           %lld  (fraction %.6g)\n",
+              static_cast<long long>(rep.late), rep.late_fraction());
+  std::printf("late by dominant cause:\n");
+  for (std::size_t c = 0; c < dmp::obs::kNumLateCauses; ++c) {
+    if (rep.by_cause[c] == 0) continue;
+    std::printf("  %-15s %lld\n",
+                std::string(late_cause_name(static_cast<LateCause>(c))).c_str(),
+                static_cast<long long>(rep.by_cause[c]));
+  }
+  (void)az;
+}
+
+int cmd_summary(const TraceAnalyzer& az, double tau_s) {
+  std::printf("mu             %.6g pkts/s\n", az.mu_pps());
+  std::printf("epoch          %lld ns\n", static_cast<long long>(az.epoch_ns()));
+  std::printf("packets traced %zu\n", az.timelines().size());
+  print_attribution(az, az.attribute(tau_s), tau_s);
+  return 0;
+}
+
+int cmd_packet(const TraceAnalyzer& az, std::int64_t number) {
+  const PacketTimeline* tl = az.timeline(number);
+  if (!tl) {
+    std::fprintf(stderr, "packet %lld not in trace\n",
+                 static_cast<long long>(number));
+    return 1;
+  }
+  std::printf("packet %lld  path %d  transmissions %u  drops %u\n",
+              static_cast<long long>(tl->packet), tl->path, tl->transmissions,
+              tl->drops);
+  auto station = [&](const char* name, std::int64_t t_ns) {
+    if (t_ns < 0) {
+      std::printf("  %-12s -\n", name);
+    } else {
+      std::printf("  %-12s %.9f s\n", name, rel_s(az, t_ns));
+    }
+  };
+  station("generate", tl->gen_ns);
+  station("pull", tl->pull_ns);
+  station("tcp_enqueue", tl->enqueue_ns);
+  for (const auto& send : tl->sends) {
+    std::printf("  %-12s %.9f s  seq %lld attempt %u%s%s  cwnd %.6g "
+                "ssthresh %.6g\n",
+                "tcp_send", rel_s(az, send.t_ns),
+                static_cast<long long>(send.seq), send.attempt,
+                send.reason == dmp::obs::RtxReason::kNone ? "" : " ",
+                send.reason == dmp::obs::RtxReason::kNone
+                    ? ""
+                    : std::string(rtx_reason_name(send.reason)).c_str(),
+                send.cwnd, send.ssthresh);
+  }
+  for (const auto& hop : tl->hops) {
+    if (hop.dropped) {
+      std::printf("  %-12s %.9f s  hop %d  DROPPED\n", "link",
+                  rel_s(az, hop.enqueue_ns), hop.hop);
+    } else if (hop.dequeue_ns >= 0) {
+      std::printf("  %-12s %.9f s  hop %d  queued %.9f s\n", "link",
+                  rel_s(az, hop.enqueue_ns), hop.hop,
+                  static_cast<double>(hop.dequeue_ns - hop.enqueue_ns) * 1e-9);
+    } else {
+      std::printf("  %-12s %.9f s  hop %d  (still queued at end)\n", "link",
+                  rel_s(az, hop.enqueue_ns), hop.hop);
+    }
+  }
+  station("sink_rx", tl->sink_rx_ns);
+  station("deliver", tl->deliver_ns);
+  station("arrive", tl->arrive_ns);
+  std::printf("  waits: pre-tx %.9f s  link-queue %.9f s  reorder %.9f s\n",
+              static_cast<double>(tl->pre_tx_wait_ns()) * 1e-9,
+              static_cast<double>(tl->link_queue_wait_ns()) * 1e-9,
+              static_cast<double>(tl->reorder_wait_ns()) * 1e-9);
+  return 0;
+}
+
+int cmd_paths(const TraceAnalyzer& az) {
+  std::printf("%5s %10s %7s %7s %6s %12s %12s %12s %12s\n", "path",
+              "delivered", "drops", "rtx", "rtos", "qwait_p50_s",
+              "qwait_p90_s", "qwait_p99_s", "qwait_max_s");
+  for (const auto& s : az.path_stats()) {
+    std::printf("%5d %10llu %7llu %7llu %6llu %12.6g %12.6g %12.6g %12.6g\n",
+                s.path, static_cast<unsigned long long>(s.packets_delivered),
+                static_cast<unsigned long long>(s.drops),
+                static_cast<unsigned long long>(s.retransmissions),
+                static_cast<unsigned long long>(s.rtos), s.queue_wait_p50_s,
+                s.queue_wait_p90_s, s.queue_wait_p99_s, s.queue_wait_max_s);
+  }
+  return 0;
+}
+
+int cmd_rtx(const TraceAnalyzer& az) {
+  const auto rtx = az.retransmitted_packets();
+  std::printf("%llu retransmitted packet(s)\n",
+              static_cast<unsigned long long>(rtx.size()));
+  for (const PacketTimeline* tl : rtx) {
+    std::printf("packet %lld  path %d  attempts %u  drops %u  reasons:",
+                static_cast<long long>(tl->packet), tl->path,
+                tl->transmissions, tl->drops);
+    for (const auto& send : tl->sends) {
+      if (send.attempt <= 1) continue;
+      std::printf(" %s@%.6fs",
+                  std::string(rtx_reason_name(send.reason)).c_str(),
+                  rel_s(az, send.t_ns));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_causes(const TraceAnalyzer& az, double tau_s, std::int64_t limit) {
+  const auto rep = az.attribute(tau_s);
+  print_attribution(az, rep, tau_s);
+  std::printf("%8s %12s %12s %s\n", "packet", "deadline_s", "arrived_s",
+              "cause");
+  std::int64_t shown = 0;
+  for (const auto& v : rep.verdicts) {
+    if (limit >= 0 && shown++ >= limit) {
+      std::printf("... (%zu total; raise --limit)\n", rep.verdicts.size());
+      break;
+    }
+    std::printf("%8lld %12.6f %12.6f %s\n", static_cast<long long>(v.packet),
+                static_cast<double>(v.deadline_rel_ns) * 1e-9,
+                static_cast<double>(v.arrive_rel_ns) * 1e-9,
+                std::string(late_cause_name(v.cause)).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  FlightRecorder recorder;
+  try {
+    recorder = dmp::obs::read_flight_trace_file(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const TraceAnalyzer az(recorder);
+  const double tau_s = parse_flag(argc, argv, "--tau", 4.0);
+
+  if (cmd == "summary") return cmd_summary(az, tau_s);
+  if (cmd == "packet") {
+    if (argc < 4) {
+      usage();
+      return 1;
+    }
+    return cmd_packet(az, std::atoll(argv[3]));
+  }
+  if (cmd == "paths") return cmd_paths(az);
+  if (cmd == "rtx") return cmd_rtx(az);
+  if (cmd == "causes") {
+    const auto limit = static_cast<std::int64_t>(
+        parse_flag(argc, argv, "--limit", 50.0));
+    return cmd_causes(az, tau_s, limit);
+  }
+  usage();
+  return 1;
+}
