@@ -3,6 +3,8 @@
 // cannot send", i.e. until this buffer fills).  Too small starves the
 // window on clean paths; too large strands stale packets behind a
 // congested path (head-of-line blocking invisible to the model).
+// One runner setting per buffer size; the sweep fans out over DMP_THREADS.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -11,36 +13,65 @@
 using namespace dmp;
 
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   bench::banner("Ablation: send-buffer size (Setting 2-2, mu=50)");
 
   CsvWriter csv(bench_output_dir() + "/abl_sendbuf.csv",
                 {"send_buffer_pkts", "tau_s", "late_fraction", "share1"});
 
   const bench::ValidationSetting setting{"2-2", 2, 2, 50.0, false};
-  const double duration = std::min(knobs.duration_s, 1500.0);
+  const double duration = std::min(options.duration_s, 1500.0);
   const std::vector<double> taus{4.0, 6.0, 10.0};
+  const std::vector<std::size_t> buffers{2, 4, 8, 16, 32, 64, 128, 256};
+
+  exp::ExperimentPlan plan;
+  plan.name = "abl_sendbuf";
+  plan.seed = options.seed;
+  plan.replications = 1;
+  for (std::size_t buffer : buffers) {
+    auto config = bench::session_for(setting, duration);
+    config.video_tcp.send_buffer_packets = buffer;
+    plan.settings.push_back({std::to_string(buffer), config});
+  }
+  plan.metrics = [&taus](const SessionResult& result, std::size_t,
+                         std::size_t) {
+    std::vector<std::pair<std::string, double>> m;
+    for (double tau : taus) {
+      m.emplace_back("f_tau" + std::to_string(static_cast<int>(tau)),
+                     result.trace.late_fraction_playback_order(
+                         tau, result.packets_generated));
+    }
+    m.emplace_back("share1", result.paths[0].share);
+    return m;
+  };
 
   std::printf("%8s %12s %12s %12s %8s\n", "buffer", "f(tau=4)", "f(tau=6)",
               "f(tau=10)", "split");
-  for (std::size_t buffer : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-    auto config = bench::session_for(setting, duration, knobs.seed + 77);
-    config.video_tcp.send_buffer_packets = buffer;
-    const auto result = run_session(config);
+  const auto consume = [&](std::size_t s, std::size_t,
+                           const exp::ReplicationOutcome& outcome) {
+    if (!outcome.ok) {
+      std::printf("%8zu  FAILED: %s\n", buffers[s], outcome.error.c_str());
+      return;
+    }
+    const auto& result = outcome.result;
     std::vector<double> f;
     for (double tau : taus) {
       f.push_back(result.trace.late_fraction_playback_order(
           tau, result.packets_generated));
-      csv.row({std::to_string(buffer), CsvWriter::num(tau),
+      csv.row({std::to_string(buffers[s]), CsvWriter::num(tau),
                CsvWriter::num(f.back()),
                CsvWriter::num(result.paths[0].share)});
     }
-    std::printf("%8zu %12.5g %12.5g %12.5g %7.0f%%\n", buffer, f[0], f[1],
+    std::printf("%8zu %12.5g %12.5g %12.5g %7.0f%%\n", buffers[s], f[0], f[1],
                 f[2], result.paths[0].share * 100);
-  }
+  };
+  const auto report = exp::ExperimentRunner(options.threads).run(plan, consume);
+
   std::printf("\nreading: a handful of packets suffices; very deep buffers "
               "slightly hurt timeliness by committing packets to a path "
               "before its congestion is visible.\n");
-  std::printf("CSV: %s/abl_sendbuf.csv\n", bench_output_dir().c_str());
+  const std::string json = report.write_json();
+  std::printf("CSV: %s/abl_sendbuf.csv\nreport: %s (%.1f s wall)\n",
+              bench_output_dir().c_str(), json.c_str(), report.wall_s);
   return 0;
 }

@@ -3,6 +3,7 @@
 // scheme does) and how much is staticness itself (unfixable without
 // dynamic reallocation)?  Heterogeneous path pair, three allocators:
 // even static, bandwidth-weighted static, and DMP.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -11,7 +12,7 @@
 using namespace dmp;
 
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   bench::banner("Ablation: static split weighting vs DMP "
                 "(config 4 + config 3 paths, mu=60)");
 
@@ -21,17 +22,20 @@ int main() {
   SessionConfig base;
   base.path_configs = {table1_config(4), table1_config(3)};
   base.mu_pps = 60.0;
-  base.duration_s = std::min(knobs.duration_s, 1500.0);
-  base.seed = knobs.seed + 31;
+  base.duration_s = std::min(options.duration_s, 1500.0);
+
+  const exp::ExperimentRunner runner(options.threads);
 
   // Measure the average bandwidths "beforehand" with backlogged probes —
-  // exactly the information the paper grants the static scheme.
-  const auto probe_a =
-      measure_backlogged_paths(base.path_configs[0], 1, knobs.seed, 600.0);
-  const auto probe_b =
-      measure_backlogged_paths(base.path_configs[1], 1, knobs.seed + 1, 600.0);
-  const double sigma_a = probe_a[0].throughput_pps;
-  const double sigma_b = probe_b[0].throughput_pps;
+  // exactly the information the paper grants the static scheme.  The two
+  // probes are independent, so they fan out over the pool too.
+  const auto probe_seeds = exp::probe_stream(options.seed);
+  const auto probes = runner.map(2, [&](std::size_t k) {
+    return measure_backlogged_paths(base.path_configs[k], 1, probe_seeds.at(k),
+                                    600.0)[0];
+  });
+  const double sigma_a = probes[0].throughput_pps;
+  const double sigma_b = probes[1].throughput_pps;
   std::printf("measured average path bandwidths: %.1f and %.1f pkts/s\n\n",
               sigma_a, sigma_b);
 
@@ -46,28 +50,46 @@ int main() {
       {"dmp", StreamScheme::kDmp, {}},
   };
 
-  std::printf("%-16s %12s %12s %12s %8s\n", "scheme", "f(tau=4)", "f(tau=6)",
-              "f(tau=10)", "split");
+  exp::ExperimentPlan plan;
+  plan.name = "abl_static_weights";
+  plan.seed = options.seed;
+  plan.replications = 1;
   for (const auto& scheme : schemes) {
     auto config = base;
     config.scheme = scheme.scheme;
     config.static_weights = scheme.weights;
-    const auto result = run_session(config);
+    plan.settings.push_back({scheme.name, config});
+  }
+
+  std::printf("%-16s %12s %12s %12s %8s\n", "scheme", "f(tau=4)", "f(tau=6)",
+              "f(tau=10)", "split");
+  const auto consume = [&](std::size_t s, std::size_t,
+                           const exp::ReplicationOutcome& outcome) {
+    if (!outcome.ok) {
+      std::printf("%-16s FAILED: %s\n", schemes[s].name,
+                  outcome.error.c_str());
+      return;
+    }
+    const auto& result = outcome.result;
     std::vector<double> f;
     for (double tau : {4.0, 6.0, 10.0}) {
       f.push_back(result.trace.late_fraction_playback_order(
           tau, result.packets_generated));
-      csv.row({scheme.name, CsvWriter::num(tau), CsvWriter::num(f.back()),
+      csv.row({schemes[s].name, CsvWriter::num(tau), CsvWriter::num(f.back()),
                CsvWriter::num(result.paths[0].share)});
     }
-    std::printf("%-16s %12.5g %12.5g %12.5g %7.0f%%\n", scheme.name, f[0],
+    std::printf("%-16s %12.5g %12.5g %12.5g %7.0f%%\n", schemes[s].name, f[0],
                 f[1], f[2], result.paths[0].share * 100);
-  }
+  };
+  const auto report = runner.run(plan, consume);
+
   std::printf("\nreading: on a stably uneven pair, correct weighting removes "
               "most of static streaming's deficit — the even split, not "
               "staticness, is the first-order problem; DMP matches the "
               "weighted split WITHOUT the prior measurement and keeps "
               "tracking when bandwidths fluctuate (Section 7.4).\n");
-  std::printf("CSV: %s/abl_static_weights.csv\n", bench_output_dir().c_str());
+  const std::string json = report.write_json();
+  std::printf("CSV: %s/abl_static_weights.csv\nreport: %s (%.1f s wall)\n",
+              bench_output_dir().c_str(), json.c_str(), report.wall_s);
   return 0;
 }

@@ -1,5 +1,12 @@
 // Shared plumbing for the reproduction benches: the paper's validation
 // settings, replication helpers, and model-parameter estimation.
+//
+// Configuration comes from exp::BenchOptions (validated DMP_* knobs) and
+// every random quantity is seeded from a dmp::SeedStream rooted at
+// DMP_SEED — replication seeds, backlogged-probe seeds and Monte-Carlo
+// seeds live in disjoint domains (see src/exp/plan.hpp), so no two
+// purposes can collide the way additive offsets (`seed + 1` vs `seed + r`)
+// once did.
 #pragma once
 
 #include <cstdint>
@@ -8,32 +15,17 @@
 #include <vector>
 
 #include "apps/background.hpp"
+#include "exp/options.hpp"
+#include "exp/plan.hpp"
+#include "exp/runner.hpp"
 #include "model/composed_chain.hpp"
 #include "stream/session.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/seed_stream.hpp"
 #include "util/stats.hpp"
 
 namespace dmp::bench {
-
-struct Knobs {
-  std::int64_t runs = env_int("DMP_RUNS", 8);
-  double duration_s = env_double("DMP_DURATION_S", 3000.0);
-  std::uint64_t seed = static_cast<std::uint64_t>(env_int("DMP_SEED", 2007));
-  std::uint64_t mc_min =
-      static_cast<std::uint64_t>(env_int("DMP_MC_MIN", 400'000));
-  std::uint64_t mc_max =
-      static_cast<std::uint64_t>(env_int("DMP_MC_MAX", 6'400'000));
-  // DMP_OBS=1 attaches the observability layer (metrics registry, gauge
-  // probe CSV, event JSONL, RunReport JSON in the bench output dir) to the
-  // first replication of each figure.
-  bool obs = env_int("DMP_OBS", 0) != 0;
-  double obs_probe_interval_s = env_double("DMP_OBS_PROBE_S", 1.0);
-  // DMP_TRACE=1 additionally attaches the per-packet flight recorder to
-  // the first replication and writes `<prefix>_trace.jsonl` (inspect with
-  // `trace_query`).  Works with or without DMP_OBS.
-  bool trace = env_int("DMP_TRACE", 0) != 0;
-};
 
 inline void banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -67,8 +59,10 @@ inline std::vector<ValidationSetting> correlated_settings() {
   };
 }
 
+// The session for one validation setting.  `config.seed` is left at its
+// default — the experiment runner overwrites it with the replication seed.
 inline SessionConfig session_for(const ValidationSetting& setting,
-                                 double duration_s, std::uint64_t seed) {
+                                 double duration_s) {
   SessionConfig config;
   if (setting.correlated) {
     config.path_configs = {table1_config(setting.config_a)};
@@ -80,15 +74,42 @@ inline SessionConfig session_for(const ValidationSetting& setting,
   config.num_flows = 2;
   config.mu_pps = setting.mu_pps;
   config.duration_s = duration_s;
-  config.seed = seed;
   return config;
+}
+
+// An experiment plan over validation settings with shared knobs applied.
+inline exp::ExperimentPlan plan_for(const std::string& name,
+                                    const std::vector<ValidationSetting>& settings,
+                                    const exp::BenchOptions& options,
+                                    double duration_s) {
+  exp::ExperimentPlan plan;
+  plan.name = name;
+  plan.replications = static_cast<std::size_t>(options.runs);
+  plan.seed = options.seed;
+  for (const auto& setting : settings) {
+    plan.settings.push_back({setting.name, session_for(setting, duration_s)});
+  }
+  // Attach observability / flight recording to the very first replication.
+  if (options.obs || options.trace) {
+    plan.configure = [name, options](SessionConfig& config,
+                                     std::size_t setting, std::size_t rep) {
+      if (setting != 0 || rep != 0) return;
+      config.obs.enabled = options.obs;
+      config.obs.flight_recorder = options.trace;
+      config.obs.output_dir = bench_output_dir();
+      config.obs.prefix = name + "_obs";
+      config.obs.probe_interval_s = options.obs_probe_interval_s;
+    };
+  }
+  return plan;
 }
 
 // Model parameters for a validation setting, estimated with backlogged
 // probes (Section 2.2's sigma_k definition; see stream/session.hpp for why
-// video-stream-measured p would bias the model under drop-tail).
+// video-stream-measured p would bias the model under drop-tail).  The
+// probe stream supplies one independent seed per probed path.
 inline ComposedParams model_params_for(const ValidationSetting& setting,
-                                       std::uint64_t seed,
+                                       const SeedStream& probe_seeds,
                                        double probe_duration_s = 1500.0) {
   ComposedParams params;
   params.mu_pps = setting.mu_pps;
@@ -103,13 +124,16 @@ inline ComposedParams model_params_for(const ValidationSetting& setting,
   };
   if (setting.correlated) {
     const auto probes = measure_backlogged_paths(
-        table1_config(setting.config_a), 2, seed, probe_duration_s);
+        table1_config(setting.config_a), 2, probe_seeds.at(0),
+        probe_duration_s);
     params.flows = {to_chain(probes[0]), to_chain(probes[1])};
   } else {
     const auto probe_a = measure_backlogged_paths(
-        table1_config(setting.config_a), 1, seed, probe_duration_s);
+        table1_config(setting.config_a), 1, probe_seeds.at(0),
+        probe_duration_s);
     const auto probe_b = measure_backlogged_paths(
-        table1_config(setting.config_b), 1, seed + 1, probe_duration_s);
+        table1_config(setting.config_b), 1, probe_seeds.at(1),
+        probe_duration_s);
     params.flows = {to_chain(probe_a[0]), to_chain(probe_b[0])};
   }
   return params;

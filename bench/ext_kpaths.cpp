@@ -2,7 +2,8 @@
 // is left as future work"): K = 1..4 homogeneous paths at the SAME
 // aggregate achievable throughput.  More paths at equal aggregate capacity
 // means more diversity (independent loss processes) but a smaller, more
-// fragile share per path — this quantifies the trade-off.
+// fragile share per path — this quantifies the trade-off.  One runner
+// work item per (ratio, K) cell.
 #include <cstdio>
 #include <vector>
 
@@ -12,7 +13,7 @@
 using namespace dmp;
 
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   const double p = 0.02, to = 4.0, mu = 25.0;
   bench::banner("Extension: number of paths K at equal aggregate throughput "
                 "(p=0.02, TO=4, mu=25)");
@@ -21,41 +22,58 @@ int main() {
                 {"k", "ratio", "rtt_ms", "tau_s", "late_fraction",
                  "required_tau_s"});
 
-  RequiredDelayOptions options;
-  options.min_consumptions = knobs.mc_min;
-  options.max_consumptions = knobs.mc_max;
-  options.tau_max_s = 90.0;
-  options.seed = knobs.seed;
+  const std::vector<double> ratios{1.4, 1.6};
+  const std::vector<double> taus{4.0, 10.0, 20.0};
 
-  for (double ratio : {1.4, 1.6}) {
-    std::printf("\nsigma_a/mu = %.1f\n", ratio);
+  struct Cell {
+    double rtt = 0.0;
+    std::vector<double> f_at;
+    RequiredDelayResult required{};
+  };
+  const auto mc_seeds = exp::mc_stream(options.seed);
+  const auto cells =
+      exp::ExperimentRunner(options.threads).map(ratios.size() * 4, [&](std::size_t i) {
+        const double ratio = ratios[i / 4];
+        const int k = static_cast<int>(i % 4) + 1;
+        Cell cell;
+        // Per-path sigma = ratio*mu/K -> per-path RTT scales with K.
+        cell.rtt = bench::unit_rtt_throughput(p, to) * k / (ratio * mu);
+        ComposedParams params;
+        for (int f = 0; f < k; ++f) {
+          params.flows.push_back(bench::chain_of(p, cell.rtt, to));
+        }
+        params.mu_pps = mu;
+
+        const auto cell_seeds = mc_seeds.substream(i);
+        for (std::size_t t = 0; t < taus.size(); ++t) {
+          params.tau_s = taus[t];
+          DmpModelMonteCarlo mc(params, cell_seeds.at(t));
+          cell.f_at.push_back(
+              mc.run(options.mc_max, options.mc_max / 10).late_fraction);
+        }
+        RequiredDelayOptions delay_options;
+        delay_options.min_consumptions = options.mc_min;
+        delay_options.max_consumptions = options.mc_max;
+        delay_options.tau_max_s = 90.0;
+        delay_options.seed = cell_seeds.at(taus.size());
+        cell.required = required_startup_delay(params, delay_options);
+        return cell;
+      });
+
+  for (std::size_t r = 0; r < ratios.size(); ++r) {
+    std::printf("\nsigma_a/mu = %.1f\n", ratios[r]);
     std::printf("%4s %10s %12s %12s %12s %14s\n", "K", "RTT(ms)", "f(tau=4)",
                 "f(tau=10)", "f(tau=20)", "required tau");
     for (int k = 1; k <= 4; ++k) {
-      // Per-path sigma = ratio*mu/K -> per-path RTT scales with K.
-      const double rtt =
-          bench::unit_rtt_throughput(p, to) * k / (ratio * mu);
-      ComposedParams params;
-      for (int i = 0; i < k; ++i) {
-        params.flows.push_back(bench::chain_of(p, rtt, to));
-      }
-      params.mu_pps = mu;
-
-      std::vector<double> f_at;
-      for (double tau : {4.0, 10.0, 20.0}) {
-        params.tau_s = tau;
-        DmpModelMonteCarlo mc(params, knobs.seed + static_cast<std::uint64_t>(k));
-        f_at.push_back(mc.run(knobs.mc_max, knobs.mc_max / 10).late_fraction);
-      }
-      const auto required = required_startup_delay(params, options);
+      const auto& cell = cells[r * 4 + static_cast<std::size_t>(k - 1)];
       std::printf("%4d %10.0f %12.4g %12.4g %12.4g %11.0f s%s\n", k,
-                  rtt * 1e3, f_at[0], f_at[1], f_at[2], required.tau_s,
-                  required.feasible ? "" : "+");
-      for (std::size_t i = 0; i < 3; ++i) {
-        const double taus[] = {4.0, 10.0, 20.0};
-        csv.row({std::to_string(k), CsvWriter::num(ratio),
-                 CsvWriter::num(rtt * 1e3), CsvWriter::num(taus[i]),
-                 CsvWriter::num(f_at[i]), CsvWriter::num(required.tau_s)});
+                  cell.rtt * 1e3, cell.f_at[0], cell.f_at[1], cell.f_at[2],
+                  cell.required.tau_s, cell.required.feasible ? "" : "+");
+      for (std::size_t t = 0; t < taus.size(); ++t) {
+        csv.row({std::to_string(k), CsvWriter::num(ratios[r]),
+                 CsvWriter::num(cell.rtt * 1e3), CsvWriter::num(taus[t]),
+                 CsvWriter::num(cell.f_at[t]),
+                 CsvWriter::num(cell.required.tau_s)});
       }
     }
   }

@@ -3,7 +3,8 @@
 // achievable throughput.  TO = 4; gamma in {1.5, 2.0};
 //   Case 1 (RTT):  p_o in {0.01, 0.04}, R_o = 150 ms;
 //   Case 2 (loss): R_o in {100, 300} ms, p_o = 0.02;
-// sigma_a/mu in {1.4, 1.6, 1.8}  ->  (4 + 4) x 3 = 24 heterogeneous points.
+// sigma_a/mu in {1.4, 1.6, 1.8}  ->  (4 + 4) x 3 = 24 heterogeneous points,
+// one runner work item each (a homogeneous + a heterogeneous search).
 #include <cstdio>
 #include <vector>
 
@@ -14,16 +15,10 @@
 using namespace dmp;
 
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   const double to = 4.0;
   bench::banner("Fig. 10: required startup delay, homogeneous vs "
                 "heterogeneous paths (TO=4)");
-
-  RequiredDelayOptions options;
-  options.min_consumptions = knobs.mc_min;
-  options.max_consumptions = knobs.mc_max;
-  options.tau_max_s = 90.0;
-  options.seed = knobs.seed;
 
   CsvWriter csv(bench_output_dir() + "/fig10_heterogeneity.csv",
                 {"case", "gamma", "p_o", "rtt_o_ms", "ratio", "tau_homo_s",
@@ -42,39 +37,69 @@ int main() {
       {HeterogeneityCase::kLoss, 0.02, 0.300, "case2 p=0.02 R=300ms"},
   };
 
-  std::printf("%-24s %6s %6s %10s %12s %6s\n", "base", "gamma", "ratio",
-              "tau homo", "tau hetero", "|d|");
-  double max_abs_diff = 0.0;
+  struct Point {
+    const Base* base;
+    double gamma;
+    double ratio;
+  };
+  std::vector<Point> grid;
   for (const auto& base : bases) {
-    const auto homo_flow = bench::chain_of(base.p_o, base.rtt_o_s, to);
     for (double gamma : {1.5, 2.0}) {
-      const auto pair = heterogeneous_pair(homo_flow, base.kind, gamma);
       for (double ratio : {1.4, 1.6, 1.8}) {
-        const double mu =
-            bench::mu_for_ratio(base.p_o, base.rtt_o_s, to, ratio);
+        grid.push_back({&base, gamma, ratio});
+      }
+    }
+  }
 
+  struct Row {
+    RequiredDelayResult homo{}, hetero{};
+  };
+  const auto mc_seeds = exp::mc_stream(options.seed);
+  const auto rows =
+      exp::ExperimentRunner(options.threads).map(grid.size(), [&](std::size_t i) {
+        const auto& point = grid[i];
+        const auto homo_flow =
+            bench::chain_of(point.base->p_o, point.base->rtt_o_s, to);
+        const auto pair =
+            heterogeneous_pair(homo_flow, point.base->kind, point.gamma);
+        const double mu = bench::mu_for_ratio(point.base->p_o,
+                                              point.base->rtt_o_s, to,
+                                              point.ratio);
+        RequiredDelayOptions delay_options;
+        delay_options.min_consumptions = options.mc_min;
+        delay_options.max_consumptions = options.mc_max;
+        delay_options.tau_max_s = 90.0;
+
+        Row row;
         ComposedParams homo;
         homo.flows = {homo_flow, homo_flow};
         homo.mu_pps = mu;
-        const auto tau_homo = required_startup_delay(homo, options);
+        delay_options.seed = mc_seeds.at(2 * i);
+        row.homo = required_startup_delay(homo, delay_options);
 
         ComposedParams hetero;
         hetero.flows = {pair.flows[0], pair.flows[1]};
         hetero.mu_pps = mu;
-        const auto tau_hetero = required_startup_delay(hetero, options);
+        delay_options.seed = mc_seeds.at(2 * i + 1);
+        row.hetero = required_startup_delay(hetero, delay_options);
+        return row;
+      });
 
-        const double diff = tau_hetero.tau_s - tau_homo.tau_s;
-        max_abs_diff = std::max(max_abs_diff, std::abs(diff));
-        std::printf("%-24s %6.1f %6.1f %8.0f s %10.0f s %6.0f\n", base.label,
-                    gamma, ratio, tau_homo.tau_s, tau_hetero.tau_s,
-                    std::abs(diff));
-        csv.row({base.kind == HeterogeneityCase::kRtt ? "1" : "2",
-                 CsvWriter::num(gamma), CsvWriter::num(base.p_o),
-                 CsvWriter::num(base.rtt_o_s * 1e3), CsvWriter::num(ratio),
-                 CsvWriter::num(tau_homo.tau_s),
-                 CsvWriter::num(tau_hetero.tau_s)});
-      }
-    }
+  std::printf("%-24s %6s %6s %10s %12s %6s\n", "base", "gamma", "ratio",
+              "tau homo", "tau hetero", "|d|");
+  double max_abs_diff = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& point = grid[i];
+    const double diff = rows[i].hetero.tau_s - rows[i].homo.tau_s;
+    max_abs_diff = std::max(max_abs_diff, std::abs(diff));
+    std::printf("%-24s %6.1f %6.1f %8.0f s %10.0f s %6.0f\n",
+                point.base->label, point.gamma, point.ratio,
+                rows[i].homo.tau_s, rows[i].hetero.tau_s, std::abs(diff));
+    csv.row({point.base->kind == HeterogeneityCase::kRtt ? "1" : "2",
+             CsvWriter::num(point.gamma), CsvWriter::num(point.base->p_o),
+             CsvWriter::num(point.base->rtt_o_s * 1e3),
+             CsvWriter::num(point.ratio), CsvWriter::num(rows[i].homo.tau_s),
+             CsvWriter::num(rows[i].hetero.tau_s)});
   }
   std::printf("\nmax |tau_hetero - tau_homo| = %.0f s; expected (paper): "
               "points hug the diagonal — DMP is insensitive to path "

@@ -6,7 +6,8 @@
 // late fraction comes from the K = 1 composed model at rate mu/2.
 // Settings mirror the paper's representative panel:
 //   (R=100ms, 1.6) (R=200ms, 1.6) (R=300ms, 1.6) (R=300ms, 1.8)
-//   (R=300ms, 2.0), each with p in {0.004, 0.02, 0.04}.
+//   (R=300ms, 2.0), each with p in {0.004, 0.02, 0.04} — 15 runner work
+// items (one DMP + one static search each).
 #include <cstdio>
 #include <vector>
 
@@ -16,56 +17,73 @@
 using namespace dmp;
 
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   const double to = 4.0;
   bench::banner("Fig. 11: DMP vs static streaming, required startup delay "
                 "(TO=4)");
-
-  RequiredDelayOptions options;
-  options.min_consumptions = knobs.mc_min;
-  options.max_consumptions = knobs.mc_max;
-  options.tau_max_s = 150.0;  // static streaming can need ~90 s
-  options.seed = knobs.seed;
 
   CsvWriter csv(bench_output_dir() + "/fig11_static_vs_dmp.csv",
                 {"rtt_ms", "ratio", "loss_rate", "mu_pps", "tau_static_s",
                  "static_feasible", "tau_dmp_s", "dmp_feasible"});
 
-  struct Panel {
+  struct Point {
     double rtt_ms;
     double ratio;
+    double p;
   };
-  const std::vector<Panel> panels{
-      {100, 1.6}, {200, 1.6}, {300, 1.6}, {300, 1.8}, {300, 2.0}};
+  std::vector<Point> grid;
+  for (const auto& panel : std::vector<std::pair<double, double>>{
+           {100, 1.6}, {200, 1.6}, {300, 1.6}, {300, 1.8}, {300, 2.0}}) {
+    for (double p : {0.004, 0.02, 0.04}) {
+      grid.push_back({panel.first, panel.second, p});
+    }
+  }
+
+  struct Row {
+    double mu = 0.0;
+    RequiredDelayResult dmp{}, stat{};
+  };
+  const auto mc_seeds = exp::mc_stream(options.seed);
+  const auto rows =
+      exp::ExperimentRunner(options.threads).map(grid.size(), [&](std::size_t i) {
+        const auto& point = grid[i];
+        RequiredDelayOptions delay_options;
+        delay_options.min_consumptions = options.mc_min;
+        delay_options.max_consumptions = options.mc_max;
+        delay_options.tau_max_s = 150.0;  // static streaming can need ~90 s
+
+        Row row;
+        row.mu = bench::mu_for_ratio(point.p, point.rtt_ms / 1e3, to,
+                                     point.ratio);
+
+        // DMP: two paths, shared buffer, full rate mu.
+        ComposedParams dmp = bench::homogeneous_setup(
+            point.p, point.rtt_ms / 1e3, to, row.mu);
+        delay_options.seed = mc_seeds.at(2 * i);
+        row.dmp = required_startup_delay(dmp, delay_options);
+
+        // Static: each path carries an independent mu/2 stream.
+        ComposedParams single;
+        single.flows = {bench::chain_of(point.p, point.rtt_ms / 1e3, to)};
+        single.mu_pps = row.mu / 2.0;
+        delay_options.seed = mc_seeds.at(2 * i + 1);
+        row.stat = required_startup_delay(single, delay_options);
+        return row;
+      });
 
   std::printf("%10s %6s %8s | %12s %12s\n", "R(ms)", "ratio", "p", "static",
               "DMP");
-  for (const auto& panel : panels) {
-    for (double p : {0.004, 0.02, 0.04}) {
-      const double mu =
-          bench::mu_for_ratio(p, panel.rtt_ms / 1e3, to, panel.ratio);
-
-      // DMP: two paths, shared buffer, full rate mu.
-      ComposedParams dmp =
-          bench::homogeneous_setup(p, panel.rtt_ms / 1e3, to, mu);
-      const auto tau_dmp = required_startup_delay(dmp, options);
-
-      // Static: each path carries an independent mu/2 stream.
-      ComposedParams single;
-      single.flows = {bench::chain_of(p, panel.rtt_ms / 1e3, to)};
-      single.mu_pps = mu / 2.0;
-      const auto tau_static = required_startup_delay(single, options);
-
-      std::printf("%10.0f %6.1f %8.3f | %9.0f s%s %9.0f s%s\n", panel.rtt_ms,
-                  panel.ratio, p, tau_static.tau_s,
-                  tau_static.feasible ? " " : "+", tau_dmp.tau_s,
-                  tau_dmp.feasible ? " " : "+");
-      csv.row({CsvWriter::num(panel.rtt_ms), CsvWriter::num(panel.ratio),
-               CsvWriter::num(p), CsvWriter::num(mu),
-               CsvWriter::num(tau_static.tau_s),
-               tau_static.feasible ? "1" : "0",
-               CsvWriter::num(tau_dmp.tau_s), tau_dmp.feasible ? "1" : "0"});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& point = grid[i];
+    const auto& row = rows[i];
+    std::printf("%10.0f %6.1f %8.3f | %9.0f s%s %9.0f s%s\n", point.rtt_ms,
+                point.ratio, point.p, row.stat.tau_s,
+                row.stat.feasible ? " " : "+", row.dmp.tau_s,
+                row.dmp.feasible ? " " : "+");
+    csv.row({CsvWriter::num(point.rtt_ms), CsvWriter::num(point.ratio),
+             CsvWriter::num(point.p), CsvWriter::num(row.mu),
+             CsvWriter::num(row.stat.tau_s), row.stat.feasible ? "1" : "0",
+             CsvWriter::num(row.dmp.tau_s), row.dmp.feasible ? "1" : "0"});
   }
   std::printf("\n('+' marks searches that hit the tau ceiling)\n");
   std::printf("expected shape (paper): DMP needs a much smaller startup "

@@ -2,7 +2,8 @@
 // stochastic WAN emulator (no PlanetLab vantage points here; see DESIGN.md).
 // Ten experiments, mixing the paper's setups: homogeneous ADSL-like path
 // pairs at mu = 25 or 50 pkts/s and a heterogeneous West-coast/transpacific
-// pair at mu = 100 pkts/s.
+// pair at mu = 100 pkts/s.  The ten experiments (emulation + their
+// Monte-Carlo model runs) fan out over the experiment runner.
 //
 //   (a) scatter: late fraction in arrival order vs playback order;
 //   (b) scatter: model prediction vs measured late fraction, with the
@@ -18,8 +19,8 @@ using namespace dmp;
 using namespace dmp::emul;
 
 int main() {
-  const bench::Knobs knobs;
-  const double duration_s = env_double("DMP_FIG7_DURATION_S", 3000.0);
+  const auto options = exp::bench_options();
+  const double duration_s = options.fig7_duration_s;
   bench::banner("Fig. 7: Internet-experiment validation (emulated WAN)");
   std::printf("(10 experiments x %.0f s)\n\n", duration_s);
 
@@ -48,47 +49,73 @@ int main() {
   }
 
   const std::vector<double> taus{4.0, 6.0, 8.0, 10.0};
+  const SeedStream emul_seeds(options.seed,
+                              exp::seed_domain::stream(
+                                  exp::seed_domain::kEmul, 0));
+
+  struct TauPoint {
+    double fp, fa, fm;
+  };
+  struct ExpRow {
+    InternetExperimentResult result;
+    double sigma_a = 0.0;
+    std::vector<TauPoint> points;
+  };
+
+  const auto rows =
+      exp::ExperimentRunner(options.threads).map(setups.size(), [&](std::size_t e) {
+        InternetExperimentConfig config;
+        config.paths = {setups[e].a, setups[e].b};
+        config.mu_pps = setups[e].mu;
+        config.duration_s = duration_s;
+        config.seed = emul_seeds.at(e);
+        ExpRow row;
+        row.result = run_internet_experiment(config);
+
+        // Model parameters estimated from the experiment's own traces — the
+        // Bernoulli WAN loss process carries no drop-tail burst bias, so the
+        // video-stream measurements are the right estimator here (as in the
+        // paper's tcpdump methodology).
+        ComposedParams model;
+        model.mu_pps = config.mu_pps;
+        for (const auto& m : row.result.paths) {
+          TcpChainParams flow;
+          flow.loss_rate = std::max(m.loss_rate, 1e-5);
+          flow.rtt_s = m.rtt_s;
+          flow.to_ratio = std::max(m.to_ratio, 1.0);
+          flow.wmax = 20;
+          model.flows.push_back(flow);
+          row.sigma_a += TcpFlowChain(flow).achievable_throughput_pps();
+        }
+        const auto mc_seeds = exp::mc_stream(options.seed, e);
+        for (std::size_t t = 0; t < taus.size(); ++t) {
+          model.tau_s = taus[t];
+          DmpModelMonteCarlo mc(model, mc_seeds.at(t));
+          const auto mr = mc.run(options.mc_max, options.mc_max / 10);
+          row.points.push_back(
+              {row.result.trace.late_fraction_playback_order(
+                   taus[t], row.result.packets_generated),
+               row.result.trace.late_fraction_arrival_order(
+                   taus[t], row.result.packets_generated),
+               mr.late_fraction});
+        }
+        return row;
+      });
+
   int in_band = 0, total_points = 0, zero_points = 0, zero_both = 0;
   std::printf("%4s %-13s %4s %5s %12s %12s %12s %8s\n", "exp", "kind", "mu",
               "tau", "meas(play)", "meas(arr)", "model", "fm/fs");
   for (std::size_t e = 0; e < setups.size(); ++e) {
-    InternetExperimentConfig config;
-    config.paths = {setups[e].a, setups[e].b};
-    config.mu_pps = setups[e].mu;
-    config.duration_s = duration_s;
-    config.seed = knobs.seed + 13 * e;
-    const auto result = run_internet_experiment(config);
-
-    // Model parameters estimated from the experiment's own traces — the
-    // Bernoulli WAN loss process carries no drop-tail burst bias, so the
-    // video-stream measurements are the right estimator here (as in the
-    // paper's tcpdump methodology).
-    ComposedParams model;
-    model.mu_pps = config.mu_pps;
-    double sigma_a = 0.0;
-    for (const auto& m : result.paths) {
-      TcpChainParams flow;
-      flow.loss_rate = std::max(m.loss_rate, 1e-5);
-      flow.rtt_s = m.rtt_s;
-      flow.to_ratio = std::max(m.to_ratio, 1.0);
-      flow.wmax = 20;
-      model.flows.push_back(flow);
-      sigma_a += TcpFlowChain(flow).achievable_throughput_pps();
-    }
+    const auto& row = rows[e];
     std::printf("  [exp %zu: p=(%.4f,%.4f) R=(%.0f,%.0f)ms sigma_a/mu=%.2f]\n",
-                e, result.paths[0].loss_rate, result.paths[1].loss_rate,
-                result.paths[0].rtt_s * 1e3, result.paths[1].rtt_s * 1e3,
-                sigma_a / config.mu_pps);
-
-    for (double tau : taus) {
-      const double fp = result.trace.late_fraction_playback_order(
-          tau, result.packets_generated);
-      const double fa = result.trace.late_fraction_arrival_order(
-          tau, result.packets_generated);
-      model.tau_s = tau;
-      DmpModelMonteCarlo mc(model, knobs.seed + 1700 + e);
-      const auto mr = mc.run(knobs.mc_max, knobs.mc_max / 10);
-      const double fm = mr.late_fraction;
+                e, row.result.paths[0].loss_rate,
+                row.result.paths[1].loss_rate, row.result.paths[0].rtt_s * 1e3,
+                row.result.paths[1].rtt_s * 1e3, row.sigma_a / setups[e].mu);
+    for (std::size_t t = 0; t < taus.size(); ++t) {
+      const double tau = taus[t];
+      const double fp = row.points[t].fp;
+      const double fa = row.points[t].fa;
+      const double fm = row.points[t].fm;
       // The paper's Fig. 7(b) is log-log: points where either side is 0
       // cannot be plotted and are discussed separately (its tau = 10 s
       // experiments).  We follow the same convention.
@@ -110,10 +137,10 @@ int main() {
       csv.row({std::to_string(e), setups[e].kind,
                CsvWriter::num(setups[e].mu), CsvWriter::num(tau),
                CsvWriter::num(fp), CsvWriter::num(fa), CsvWriter::num(fm),
-               CsvWriter::num(result.paths[0].loss_rate),
-               CsvWriter::num(result.paths[1].loss_rate),
-               CsvWriter::num(result.paths[0].rtt_s * 1e3),
-               CsvWriter::num(result.paths[1].rtt_s * 1e3)});
+               CsvWriter::num(row.result.paths[0].loss_rate),
+               CsvWriter::num(row.result.paths[1].loss_rate),
+               CsvWriter::num(row.result.paths[0].rtt_s * 1e3),
+               CsvWriter::num(row.result.paths[1].rtt_s * 1e3)});
     }
   }
   std::printf("\nplottable points within the paper's decade band: %d / %d "

@@ -1,6 +1,7 @@
 // Fig. 8: diminishing gain from increasing sigma_a/mu.
 // p = 0.02, TO = 4, mu = 25 pkts/s; sigma_a/mu in {1.2..2.0} set by varying
-// the RTT; fraction of late packets vs startup delay 2..30 s.
+// the RTT; fraction of late packets vs startup delay 2..30 s.  One runner
+// work item per ratio (15 Monte-Carlo runs each).
 #include <cstdio>
 #include <vector>
 
@@ -10,7 +11,7 @@
 using namespace dmp;
 
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   const double p = 0.02, to = 4.0, mu = 25.0;
   bench::banner("Fig. 8: diminishing gain from sigma_a/mu "
                 "(p=0.02, TO=4, mu=25)");
@@ -26,24 +27,36 @@ int main() {
   for (double ratio : ratios) std::printf("   ratio=%.1f", ratio);
   std::printf("\n");
 
-  std::vector<std::vector<double>> table(taus.size(),
-                                         std::vector<double>(ratios.size()));
+  struct Column {
+    double rtt;
+    std::vector<double> f;  // one per tau
+  };
+  const auto columns =
+      exp::ExperimentRunner(options.threads).map(ratios.size(), [&](std::size_t r) {
+        Column column;
+        column.rtt = bench::rtt_for_ratio(p, to, mu, ratios[r]);
+        const auto mc_seeds = exp::mc_stream(options.seed, r);
+        for (std::size_t t = 0; t < taus.size(); ++t) {
+          ComposedParams params =
+              bench::homogeneous_setup(p, column.rtt, to, mu);
+          params.tau_s = taus[t];
+          DmpModelMonteCarlo mc(params, mc_seeds.at(t));
+          column.f.push_back(
+              mc.run(options.mc_max, options.mc_max / 10).late_fraction);
+        }
+        return column;
+      });
+
   for (std::size_t r = 0; r < ratios.size(); ++r) {
-    const double rtt = bench::rtt_for_ratio(p, to, mu, ratios[r]);
     for (std::size_t t = 0; t < taus.size(); ++t) {
-      ComposedParams params = bench::homogeneous_setup(p, rtt, to, mu);
-      params.tau_s = taus[t];
-      DmpModelMonteCarlo mc(params, knobs.seed + 100 * r + t);
-      const auto result = mc.run(knobs.mc_max, knobs.mc_max / 10);
-      table[t][r] = result.late_fraction;
-      csv.row({CsvWriter::num(ratios[r]), CsvWriter::num(rtt * 1e3),
-               CsvWriter::num(taus[t]), CsvWriter::num(result.late_fraction)});
+      csv.row({CsvWriter::num(ratios[r]), CsvWriter::num(columns[r].rtt * 1e3),
+               CsvWriter::num(taus[t]), CsvWriter::num(columns[r].f[t])});
     }
   }
   for (std::size_t t = 0; t < taus.size(); ++t) {
     std::printf("%6.0f", taus[t]);
     for (std::size_t r = 0; r < ratios.size(); ++r) {
-      std::printf(" %11.3g", table[t][r]);
+      std::printf(" %11.3g", columns[r].f[t]);
     }
     std::printf("\n");
   }

@@ -4,6 +4,7 @@
 //       p in {0.004, 0.02, 0.04} (settings whose implied RTT exceeds
 //       600 ms are omitted, as in the paper);
 //   (b) ratio set by varying mu; R in {100, 200, 300} ms.
+// One runner work item per (panel, p, rate) point.
 #include <cstdio>
 #include <vector>
 
@@ -12,21 +13,8 @@
 
 using namespace dmp;
 
-namespace {
-
-RequiredDelayOptions options_from(const bench::Knobs& knobs) {
-  RequiredDelayOptions options;
-  options.min_consumptions = knobs.mc_min;
-  options.max_consumptions = knobs.mc_max;
-  options.tau_max_s = 60.0;
-  options.seed = knobs.seed;
-  return options;
-}
-
-}  // namespace
-
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   const double to = 4.0, ratio = 1.6;
   bench::banner("Fig. 9: required startup delay for f < 1e-4 "
                 "(TO=4, sigma_a/mu=1.6)");
@@ -35,42 +23,82 @@ int main() {
                 {"panel", "loss_rate", "mu_pps", "rtt_ms", "required_tau_s",
                  "feasible"});
 
-  std::printf("\n(a) ratio fixed by varying RTT\n");
-  std::printf("%8s %6s %10s %14s\n", "p", "mu", "RTT(ms)", "required tau");
+  struct Point {
+    char panel;      // 'a' or 'b'
+    double p;
+    double mu;       // panel a input; panel b derived
+    double rtt_s;    // panel a derived; panel b input
+    double tau_max_s;
+  };
+  std::vector<Point> points;
   for (double mu : {25.0, 50.0, 100.0}) {
     for (double p : {0.004, 0.02, 0.04}) {
-      const double rtt = bench::rtt_for_ratio(p, to, mu, ratio);
-      if (rtt > 0.6) {
-        std::printf("%8.3f %6.0f %10.0f %14s\n", p, mu, rtt * 1e3,
-                    "(omitted: RTT > 600 ms)");
-        continue;
-      }
-      ComposedParams params = bench::homogeneous_setup(p, rtt, to, mu);
-      const auto result = required_startup_delay(params, options_from(knobs));
-      std::printf("%8.3f %6.0f %10.0f %11.0f s%s\n", p, mu, rtt * 1e3,
-                  result.tau_s, result.feasible ? "" : "  (not reached)");
-      csv.row({"a", CsvWriter::num(p), CsvWriter::num(mu),
-               CsvWriter::num(rtt * 1e3), CsvWriter::num(result.tau_s),
-               result.feasible ? "1" : "0"});
+      points.push_back({'a', p, mu, bench::rtt_for_ratio(p, to, mu, ratio),
+                        60.0});
+    }
+  }
+  for (double rtt_ms : {100.0, 200.0, 300.0}) {
+    for (double p : {0.004, 0.02, 0.04}) {
+      // High-loss large-RTT settings need a higher tau ceiling.
+      points.push_back({'b', p,
+                        bench::mu_for_ratio(p, rtt_ms / 1e3, to, ratio),
+                        rtt_ms / 1e3, 120.0});
     }
   }
 
-  std::printf("\n(b) ratio fixed by varying mu\n");
-  std::printf("%8s %10s %8s %14s\n", "p", "RTT(ms)", "mu", "required tau");
-  for (double rtt_ms : {100.0, 200.0, 300.0}) {
-    for (double p : {0.004, 0.02, 0.04}) {
-      const double mu = bench::mu_for_ratio(p, rtt_ms / 1e3, to, ratio);
-      ComposedParams params =
-          bench::homogeneous_setup(p, rtt_ms / 1e3, to, mu);
-      auto options = options_from(knobs);
-      options.tau_max_s = 120.0;  // high-loss large-RTT settings need more
-      const auto result = required_startup_delay(params, options);
-      std::printf("%8.3f %10.0f %8.1f %11.0f s%s\n", p, rtt_ms, mu,
-                  result.tau_s, result.feasible ? "" : "  (not reached)");
-      csv.row({"b", CsvWriter::num(p), CsvWriter::num(mu),
-               CsvWriter::num(rtt_ms), CsvWriter::num(result.tau_s),
-               result.feasible ? "1" : "0"});
+  struct Row {
+    bool omitted = false;
+    RequiredDelayResult result{};
+  };
+  const auto mc_seeds = exp::mc_stream(options.seed);
+  const auto rows =
+      exp::ExperimentRunner(options.threads).map(points.size(), [&](std::size_t i) {
+        const auto& point = points[i];
+        Row row;
+        if (point.panel == 'a' && point.rtt_s > 0.6) {
+          row.omitted = true;
+          return row;
+        }
+        ComposedParams params =
+            bench::homogeneous_setup(point.p, point.rtt_s, to, point.mu);
+        RequiredDelayOptions delay_options;
+        delay_options.min_consumptions = options.mc_min;
+        delay_options.max_consumptions = options.mc_max;
+        delay_options.tau_max_s = point.tau_max_s;
+        delay_options.seed = mc_seeds.at(i);
+        row.result = required_startup_delay(params, delay_options);
+        return row;
+      });
+
+  std::printf("\n(a) ratio fixed by varying RTT\n");
+  std::printf("%8s %6s %10s %14s\n", "p", "mu", "RTT(ms)", "required tau");
+  bool printed_b_header = false;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& point = points[i];
+    if (point.panel == 'b' && !printed_b_header) {
+      printed_b_header = true;
+      std::printf("\n(b) ratio fixed by varying mu\n");
+      std::printf("%8s %10s %8s %14s\n", "p", "RTT(ms)", "mu",
+                  "required tau");
     }
+    if (rows[i].omitted) {
+      std::printf("%8.3f %6.0f %10.0f %14s\n", point.p, point.mu,
+                  point.rtt_s * 1e3, "(omitted: RTT > 600 ms)");
+      continue;
+    }
+    const auto& result = rows[i].result;
+    if (point.panel == 'a') {
+      std::printf("%8.3f %6.0f %10.0f %11.0f s%s\n", point.p, point.mu,
+                  point.rtt_s * 1e3, result.tau_s,
+                  result.feasible ? "" : "  (not reached)");
+    } else {
+      std::printf("%8.3f %10.0f %8.1f %11.0f s%s\n", point.p,
+                  point.rtt_s * 1e3, point.mu, result.tau_s,
+                  result.feasible ? "" : "  (not reached)");
+    }
+    csv.row({std::string(1, point.panel), CsvWriter::num(point.p),
+             CsvWriter::num(point.mu), CsvWriter::num(point.rtt_s * 1e3),
+             CsvWriter::num(result.tau_s), result.feasible ? "1" : "0"});
   }
 
   std::printf("\nexpected shape (paper): required tau ~ 10 s across panel "

@@ -3,6 +3,11 @@
 //       order vs. playback order, tau in {4,6,8,10} s, one point per run;
 //   (b) fraction of late packets vs. startup delay — simulation (mean and
 //       95% CI over runs) against the analytical model.
+//
+// Replications run on the exp::ExperimentRunner worker pool (DMP_THREADS);
+// results are consumed in replication order, so the printed table, the
+// CSVs and the BENCH_<figure>.json report are identical at any thread
+// count.
 #pragma once
 
 #include <cstdio>
@@ -15,12 +20,12 @@ namespace dmp::bench {
 
 inline void run_validation_figure(const ValidationSetting& setting,
                                   const std::string& figure_name) {
-  const Knobs knobs;
+  const auto options = exp::bench_options();
   banner(figure_name + " — Setting " + setting.name +
          (setting.correlated ? " (correlated paths)" : " (independent paths)"));
-  std::printf("(%lld runs x %.0f s, mu = %.0f pkts/s)\n",
-              static_cast<long long>(knobs.runs), knobs.duration_s,
-              setting.mu_pps);
+  std::printf("(%lld runs x %.0f s, mu = %.0f pkts/s, %zu threads)\n",
+              static_cast<long long>(options.runs), options.duration_s,
+              setting.mu_pps, exp::ExperimentRunner(options.threads).threads());
 
   const std::vector<double> scatter_taus{4.0, 6.0, 8.0, 10.0};
   const std::vector<double> curve_taus{3, 4, 5, 6, 7, 8, 9, 10, 11};
@@ -33,22 +38,29 @@ inline void run_validation_figure(const ValidationSetting& setting,
       {"setting", "tau_s", "sim_mean", "sim_ci_half", "model"});
 
   // --- simulation replications (one trace serves every tau) ---
-  std::vector<std::vector<double>> sim_f(curve_taus.size());
+  auto plan = plan_for(figure_name, {setting}, options, options.duration_s);
+  plan.metrics = [&curve_taus](const SessionResult& result, std::size_t,
+                               std::size_t) {
+    std::vector<std::pair<std::string, double>> m;
+    for (double tau : curve_taus) {
+      m.emplace_back("f_tau" + std::to_string(static_cast<int>(tau)),
+                     result.trace.late_fraction_playback_order(
+                         tau, result.packets_generated));
+    }
+    return m;
+  };
+
   std::printf("\n(a) out-of-order effect (playback-order vs arrival-order "
               "late fractions)\n");
   std::printf("%4s %8s %14s %14s\n", "run", "tau", "playback", "arrival");
-  for (std::int64_t run = 0; run < knobs.runs; ++run) {
-    auto config =
-        session_for(setting, knobs.duration_s,
-                    knobs.seed + 1000 + static_cast<std::uint64_t>(run) * 97);
-    if ((knobs.obs || knobs.trace) && run == 0) {
-      config.obs.enabled = knobs.obs;
-      config.obs.flight_recorder = knobs.trace;
-      config.obs.output_dir = bench_output_dir();
-      config.obs.prefix = figure_name + "_" + setting.name + "_obs";
-      config.obs.probe_interval_s = knobs.obs_probe_interval_s;
+  std::vector<std::vector<double>> sim_f(curve_taus.size());
+  const auto consume = [&](std::size_t, std::size_t rep,
+                           const exp::ReplicationOutcome& outcome) {
+    if (!outcome.ok) {
+      std::printf("%4zu  FAILED: %s\n", rep, outcome.error.c_str());
+      return;
     }
-    const auto result = run_session(config);
+    const auto& result = outcome.result;
     if (!result.report_path.empty()) {
       std::printf("obs artifacts: %s", result.report_path.c_str());
       if (!result.probe_csv_path.empty()) {
@@ -64,19 +76,20 @@ inline void run_validation_figure(const ValidationSetting& setting,
           tau, result.packets_generated);
       const double fa = result.trace.late_fraction_arrival_order(
           tau, result.packets_generated);
-      std::printf("%4lld %8.0f %14.6g %14.6g\n", static_cast<long long>(run),
-                  tau, fp, fa);
-      scatter_csv.row({setting.name, std::to_string(run), CsvWriter::num(tau),
+      std::printf("%4zu %8.0f %14.6g %14.6g\n", rep, tau, fp, fa);
+      scatter_csv.row({setting.name, std::to_string(rep), CsvWriter::num(tau),
                        CsvWriter::num(fp), CsvWriter::num(fa)});
     }
     for (std::size_t i = 0; i < curve_taus.size(); ++i) {
       sim_f[i].push_back(result.trace.late_fraction_playback_order(
           curve_taus[i], result.packets_generated));
     }
-  }
+  };
+  const auto report = exp::ExperimentRunner(options.threads).run(plan, consume);
 
   // --- model curve (backlogged-probe parameters; see DESIGN.md) ---
-  const auto model_base = model_params_for(setting, knobs.seed + 5000);
+  const auto model_base =
+      model_params_for(setting, exp::probe_stream(options.seed));
   std::printf("\nmodel path parameters: ");
   for (const auto& flow : model_base.flows) {
     std::printf("(p=%.4f R=%.0fms TO=%.2f) ", flow.loss_rate,
@@ -89,17 +102,18 @@ inline void run_validation_figure(const ValidationSetting& setting,
   std::printf("sigma_a/mu=%.2f\n", sigma_a / setting.mu_pps);
 
   std::printf("\n(b) fraction of late packets vs startup delay\n");
-  std::printf("%6s %22s %14s %10s\n", "tau", "sim (95%% CI)", "model",
+  std::printf("%6s %22s %14s %10s\n", "tau", "sim (95% CI)", "model",
               "fm/fs");
   // Below this the simulation cannot distinguish f from 0.
   const double sim_resolution =
-      1.0 / (setting.mu_pps * knobs.duration_s *
-             static_cast<double>(knobs.runs));
+      1.0 / (setting.mu_pps * options.duration_s *
+             static_cast<double>(options.runs));
+  const auto mc_seeds = exp::mc_stream(options.seed);
   for (std::size_t i = 0; i < curve_taus.size(); ++i) {
     ComposedParams params = model_base;
     params.tau_s = curve_taus[i];
-    DmpModelMonteCarlo mc(params, knobs.seed + 7000 + i);
-    const auto model = mc.run(knobs.mc_max, knobs.mc_max / 10);
+    DmpModelMonteCarlo mc(params, mc_seeds.at(i));
+    const auto model = mc.run(options.mc_max, options.mc_max / 10);
     const auto ci = confidence_interval(sim_f[i]);
     if (ci.mean > 0.0) {
       std::printf("%6.0f %12.5g +/- %-8.2g %14.6g %10.3g\n", curve_taus[i],
@@ -116,8 +130,10 @@ inline void run_validation_figure(const ValidationSetting& setting,
   }
   std::printf("\nmatch criterion (paper): model within sim CI, or "
               "0.1 < fm/fs < 10\n");
-  std::printf("CSV: %s/%s{a,b}_*.csv\n", bench_output_dir().c_str(),
-              figure_name.c_str());
+  const std::string json = report.write_json();
+  std::printf("CSV: %s/%s{a,b}_*.csv\nreport: %s (%.1f s wall)\n",
+              bench_output_dir().c_str(), figure_name.c_str(), json.c_str(),
+              report.wall_s);
 }
 
 }  // namespace dmp::bench

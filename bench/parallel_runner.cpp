@@ -1,0 +1,73 @@
+// Parallel-runner acceptance bench: runs the same experiment plan once on
+// one worker and once on the full pool, asserts the deterministic report
+// JSON is byte-identical, and records both wall-clocks.  Exit status is
+// non-zero if the parallel report diverges from the serial one — this is
+// the executable CI smoke for the runner's determinism contract.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+
+using namespace dmp;
+
+int main() {
+  const auto options = exp::bench_options();
+  bench::banner("Parallel experiment runner: serial vs parallel determinism "
+                "and timing");
+
+  const bench::ValidationSetting setting{"2-2", 2, 2, 50.0, false};
+  const double duration = std::min(options.duration_s, 600.0);
+  const std::size_t runs =
+      std::max<std::size_t>(static_cast<std::size_t>(options.runs), 4);
+
+  exp::ExperimentPlan plan;
+  plan.name = "parallel_runner";
+  plan.seed = options.seed;
+  plan.replications = runs;
+  plan.settings.push_back({setting.name,
+                           bench::session_for(setting, duration)});
+
+  const exp::ExperimentRunner serial(1);
+  const exp::ExperimentRunner parallel(options.threads);
+  std::printf("(%zu replications x %.0f s; serial pass, then %zu-thread "
+              "pass)\n",
+              runs, duration, parallel.threads());
+
+  auto serial_report = serial.run(plan);
+  std::printf("serial:   %.2f s wall\n", serial_report.wall_s);
+  auto parallel_report = parallel.run(plan);
+  std::printf("parallel: %.2f s wall (%zu threads)\n", parallel_report.wall_s,
+              parallel.threads());
+
+  const std::string serial_json = serial_report.aggregate_json();
+  const std::string parallel_json = parallel_report.aggregate_json();
+  const bool identical = serial_json == parallel_json;
+  const double speedup = parallel_report.wall_s > 0.0
+                             ? serial_report.wall_s / parallel_report.wall_s
+                             : 0.0;
+  std::printf("speedup: %.2fx; aggregate reports byte-identical: %s\n",
+              speedup, identical ? "YES" : "NO");
+
+  const std::string path =
+      bench_output_dir() + "/BENCH_parallel_runner.json";
+  std::ofstream out(path);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"serial_s\": %.6f, \"parallel_s\": %.6f, "
+                "\"threads\": %zu, \"speedup\": %.4f, \"identical\": %s, ",
+                serial_report.wall_s, parallel_report.wall_s,
+                parallel.threads(), speedup, identical ? "true" : "false");
+  out << buf << "\"report\": " << serial_json << "}\n";
+  std::printf("report: %s\n", path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel aggregate diverged from serial\n"
+                 "serial:   %.120s...\nparallel: %.120s...\n",
+                 serial_json.c_str(), parallel_json.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 using namespace dmp;
 
 int main() {
+  // Closed-form, no randomness — BenchOptions only validates the knobs.
+  (void)exp::bench_options();
   bench::banner("Section 7.3: alternating-throughput example "
                 "(mu=25, tau=5 s, 10 s phases)");
 

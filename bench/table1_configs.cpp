@@ -2,7 +2,9 @@
 // verifies each is realizable in the simulator — the background traffic
 // must genuinely congest the bottleneck (positive drop rate, substantial
 // utilization), since the whole validation methodology depends on it.
+// The four probes fan out over the experiment runner.
 #include <cstdio>
+#include <vector>
 
 #include "apps/background.hpp"
 #include "bench_common.hpp"
@@ -12,6 +14,7 @@
 using namespace dmp;
 
 int main() {
+  const auto options = exp::bench_options();
   bench::banner("Table 1: bottleneck-link configurations");
   std::printf("%-7s %4s %5s %10s %9s %7s | %11s %8s\n", "Config", "FTP",
               "HTTP", "delay(ms)", "bw(Mbps)", "buffer", "utilization",
@@ -21,35 +24,46 @@ int main() {
                 {"config", "ftp_flows", "http_flows", "prop_delay_ms",
                  "bandwidth_mbps", "buffer_pkts", "utilization", "loss_rate"});
 
-  const double horizon_s = env_double("DMP_TABLE1_PROBE_S", 120.0);
-  for (int id = 1; id <= 4; ++id) {
-    const auto config = table1_config(id);
+  const double horizon_s = options.table1_probe_s;
+  const auto probe_seeds = exp::probe_stream(options.seed);
 
+  struct Row {
+    double utilization = 0.0;
+    double loss = 0.0;
+  };
+  const auto rows = exp::ExperimentRunner(options.threads).map(4, [&](std::size_t i) {
+    const int id = static_cast<int>(i) + 1;
+    const auto config = table1_config(id);
     Scheduler sched;
-    Rng rng(bench::Knobs{}.seed + static_cast<std::uint64_t>(id));
+    Rng rng(probe_seeds.at(i));
     DumbbellPath path(sched, config.bottleneck());
     BackgroundTraffic background(sched, path, config, 1000, rng.fork());
     sched.run_until(SimTime::seconds(horizon_s));
 
-    const double utilization =
+    Row row;
+    row.utilization =
         path.bottleneck().utilization(SimTime::seconds(horizon_s));
-    const double loss =
-        path.bottleneck().total_arrivals() == 0
-            ? 0.0
-            : static_cast<double>(path.bottleneck().total_drops()) /
-                  static_cast<double>(path.bottleneck().total_arrivals());
+    row.loss = path.bottleneck().total_arrivals() == 0
+                   ? 0.0
+                   : static_cast<double>(path.bottleneck().total_drops()) /
+                         static_cast<double>(path.bottleneck().total_arrivals());
+    return row;
+  });
 
+  for (int id = 1; id <= 4; ++id) {
+    const auto config = table1_config(id);
+    const auto& row = rows[static_cast<std::size_t>(id - 1)];
     std::printf("%-7d %4zu %5zu %10.0f %9.1f %7zu | %11.2f %8.4f\n", id,
                 config.ftp_flows, config.http_flows,
                 config.prop_delay.to_seconds() * 1e3,
                 config.bandwidth_bps / 1e6, config.buffer_packets,
-                utilization, loss);
+                row.utilization, row.loss);
     csv.row({std::to_string(id), std::to_string(config.ftp_flows),
              std::to_string(config.http_flows),
              CsvWriter::num(config.prop_delay.to_seconds() * 1e3),
              CsvWriter::num(config.bandwidth_bps / 1e6),
-             std::to_string(config.buffer_packets), CsvWriter::num(utilization),
-             CsvWriter::num(loss)});
+             std::to_string(config.buffer_packets),
+             CsvWriter::num(row.utilization), CsvWriter::num(row.loss)});
   }
   std::printf("\npaper reference: cfg1 (9,40,40ms,3.7,50) cfg2 (9,40,1ms,3.7,50)"
               "\n                 cfg3 (19,40,40ms,5.0,50) cfg4 (5,20,1ms,5.0,30)\n");

@@ -23,46 +23,66 @@ const std::map<std::string, PaperRow> kPaperRows = {
 }  // namespace
 
 int main() {
-  const bench::Knobs knobs;
+  const auto options = exp::bench_options();
   bench::banner("Table 3: measured path parameters, correlated paths");
   std::printf("(%lld runs x %.0f s; flows share one bottleneck; paper "
               "values in parentheses)\n\n",
-              static_cast<long long>(knobs.runs), knobs.duration_s);
-  std::printf("%-8s %-16s %-16s %-14s %-14s %-11s %-11s %5s\n", "Setting",
-              "p1", "p2", "R1(ms)", "R2(ms)", "TO1", "TO2", "mu");
+              static_cast<long long>(options.runs), options.duration_s);
 
   CsvWriter csv(bench_output_dir() + "/table3_correlated.csv",
                 {"setting", "run", "p1", "p2", "rtt1_ms", "rtt2_ms", "to1",
                  "to2", "mu_pps"});
 
-  for (const auto& setting : bench::correlated_settings()) {
-    RunningStats p1, p2, r1, r2, to1, to2;
-    for (std::int64_t run = 0; run < knobs.runs; ++run) {
-      auto config = bench::session_for(setting, knobs.duration_s,
-                                       knobs.seed + 31 + static_cast<std::uint64_t>(run) * 97);
-      const auto result = run_session(config);
-      p1.add(result.paths[0].loss_rate);
-      p2.add(result.paths[1].loss_rate);
-      r1.add(result.paths[0].rtt_s * 1e3);
-      r2.add(result.paths[1].rtt_s * 1e3);
-      to1.add(result.paths[0].to_ratio);
-      to2.add(result.paths[1].to_ratio);
-      csv.row({setting.name, std::to_string(run),
-               CsvWriter::num(result.paths[0].loss_rate),
-               CsvWriter::num(result.paths[1].loss_rate),
-               CsvWriter::num(result.paths[0].rtt_s * 1e3),
-               CsvWriter::num(result.paths[1].rtt_s * 1e3),
-               CsvWriter::num(result.paths[0].to_ratio),
-               CsvWriter::num(result.paths[1].to_ratio),
-               CsvWriter::num(setting.mu_pps)});
+  const auto settings = bench::correlated_settings();
+  auto plan = bench::plan_for("table3_correlated", settings, options,
+                              options.duration_s);
+  plan.metrics = [](const SessionResult& result, std::size_t, std::size_t) {
+    return std::vector<std::pair<std::string, double>>{
+        {"p1", result.paths[0].loss_rate},
+        {"p2", result.paths[1].loss_rate},
+        {"r1_ms", result.paths[0].rtt_s * 1e3},
+        {"r2_ms", result.paths[1].rtt_s * 1e3},
+        {"to1", result.paths[0].to_ratio},
+        {"to2", result.paths[1].to_ratio},
+    };
+  };
+  const auto consume = [&](std::size_t s, std::size_t rep,
+                           const exp::ReplicationOutcome& outcome) {
+    if (!outcome.ok) {
+      std::printf("setting %s run %zu FAILED: %s\n", settings[s].name.c_str(),
+                  rep, outcome.error.c_str());
+      return;
     }
-    const auto& paper = kPaperRows.at(setting.name);
+    const auto& result = outcome.result;
+    csv.row({settings[s].name, std::to_string(rep),
+             CsvWriter::num(result.paths[0].loss_rate),
+             CsvWriter::num(result.paths[1].loss_rate),
+             CsvWriter::num(result.paths[0].rtt_s * 1e3),
+             CsvWriter::num(result.paths[1].rtt_s * 1e3),
+             CsvWriter::num(result.paths[0].to_ratio),
+             CsvWriter::num(result.paths[1].to_ratio),
+             CsvWriter::num(settings[s].mu_pps)});
+  };
+  const auto report = exp::ExperimentRunner(options.threads).run(plan, consume);
+
+  std::printf("%-8s %-16s %-16s %-14s %-14s %-11s %-11s %5s\n", "Setting",
+              "p1", "p2", "R1(ms)", "R2(ms)", "TO1", "TO2", "mu");
+  for (std::size_t s = 0; s < settings.size(); ++s) {
+    const auto& summary = report.settings[s];
+    const auto& paper = kPaperRows.at(summary.name);
+    const auto mean = [&summary](const char* metric) {
+      const auto* series = summary.find(metric);
+      return series ? series->ci().mean : 0.0;
+    };
     std::printf("%-8s %.3f (%.3f)    %.3f (%.3f)    %3.0f (%3.0f)      "
                 "%3.0f (%3.0f)      %.1f (%.1f)  %.1f (%.1f)  %3.0f\n",
-                setting.name.c_str(), p1.mean(), paper.p, p2.mean(), paper.p,
-                r1.mean(), paper.r_ms, r2.mean(), paper.r_ms, to1.mean(),
-                paper.to, to2.mean(), paper.to, setting.mu_pps);
+                summary.name.c_str(), mean("p1"), paper.p, mean("p2"), paper.p,
+                mean("r1_ms"), paper.r_ms, mean("r2_ms"), paper.r_ms,
+                mean("to1"), paper.to, mean("to2"), paper.to,
+                settings[s].mu_pps);
   }
-  std::printf("\nCSV: %s/table3_correlated.csv\n", bench_output_dir().c_str());
+  const std::string json = report.write_json();
+  std::printf("\nCSV: %s/table3_correlated.csv\nreport: %s (%.1f s wall)\n",
+              bench_output_dir().c_str(), json.c_str(), report.wall_s);
   return 0;
 }

@@ -9,7 +9,7 @@ HttpSource::HttpSource(Scheduler& sched, RenoSender& sender,
     : sched_(sched), sender_(sender), config_(config), rng_(rng) {
   sender_.set_space_callback([this] { feed(); });
   const double jitter = rng_.uniform(0.0, config_.start_jitter_s);
-  sched_.schedule_after(SimTime::seconds(jitter), [this] { start_transfer(); });
+  sched_.post_after(SimTime::seconds(jitter), [this] { start_transfer(); });
 }
 
 void HttpSource::start_transfer() {
@@ -34,7 +34,7 @@ void HttpSource::on_object_done() {
   transferring_ = false;
   ++objects_completed_;
   const double think = rng_.exponential(config_.mean_think_time_s);
-  sched_.schedule_after(SimTime::seconds(think), [this] { start_transfer(); });
+  sched_.post_after(SimTime::seconds(think), [this] { start_transfer(); });
 }
 
 }  // namespace dmp

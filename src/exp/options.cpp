@@ -1,0 +1,154 @@
+#include "exp/options.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+extern char** environ;
+
+namespace dmp::exp {
+
+namespace {
+
+// Every DMP_* variable any part of the repo reads.  DMP_OUT_DIR belongs to
+// util/csv, DMP_SANITIZE / DMP_CHECK_BUILD_DIR to scripts/check.sh — they
+// are not bench knobs but must not trip the unknown-variable check.
+const char* const kKnownVars[] = {
+    "DMP_RUNS",           "DMP_DURATION_S",      "DMP_SEED",
+    "DMP_MC_MIN",         "DMP_MC_MAX",          "DMP_THREADS",
+    "DMP_OBS",            "DMP_OBS_PROBE_S",     "DMP_TRACE",
+    "DMP_OUT_DIR",        "DMP_FIG7_DURATION_S", "DMP_TABLE1_PROBE_S",
+    "DMP_SANITIZE",       "DMP_CHECK_BUILD_DIR",
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument{"bench options: " + message};
+}
+
+// Strict full-string parses: "8x" or "" are errors, not 8 and 0.
+std::int64_t parse_int(const char* name, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    fail(std::string(name) + "='" + text + "' is not an integer");
+  }
+  return v;
+}
+
+double parse_double(const char* name, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    fail(std::string(name) + "='" + text + "' is not a number");
+  }
+  return v;
+}
+
+bool parse_bool(const char* name, const char* text) {
+  return parse_int(name, text) != 0;
+}
+
+const char* get(const char* name) { return std::getenv(name); }
+
+void reject_unknown_vars() {
+  for (char** e = environ; e && *e; ++e) {
+    const std::string_view entry{*e};
+    if (entry.rfind("DMP_", 0) != 0) continue;
+    const auto eq = entry.find('=');
+    const std::string_view name = entry.substr(0, eq);
+    bool known = false;
+    for (const char* k : kKnownVars) {
+      if (name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      fail("unknown variable " + std::string(name) +
+           " (misspelled knob? known: DMP_RUNS DMP_DURATION_S DMP_SEED "
+           "DMP_MC_MIN DMP_MC_MAX DMP_THREADS DMP_OBS DMP_OBS_PROBE_S "
+           "DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S DMP_TABLE1_PROBE_S)");
+    }
+  }
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::from_env() {
+  reject_unknown_vars();
+  BenchOptions o;
+  if (const char* v = get("DMP_RUNS")) o.runs = parse_int("DMP_RUNS", v);
+  if (const char* v = get("DMP_DURATION_S")) {
+    o.duration_s = parse_double("DMP_DURATION_S", v);
+  }
+  if (const char* v = get("DMP_SEED")) {
+    o.seed = static_cast<std::uint64_t>(parse_int("DMP_SEED", v));
+  }
+  if (const char* v = get("DMP_MC_MIN")) {
+    o.mc_min = static_cast<std::uint64_t>(parse_int("DMP_MC_MIN", v));
+  }
+  if (const char* v = get("DMP_MC_MAX")) {
+    o.mc_max = static_cast<std::uint64_t>(parse_int("DMP_MC_MAX", v));
+  }
+  if (const char* v = get("DMP_THREADS")) {
+    const std::int64_t t = parse_int("DMP_THREADS", v);
+    if (t < 0 || t > 1024) fail("DMP_THREADS must be in [0, 1024]");
+    o.threads = static_cast<std::size_t>(t);
+  }
+  if (const char* v = get("DMP_OBS")) o.obs = parse_bool("DMP_OBS", v);
+  if (const char* v = get("DMP_OBS_PROBE_S")) {
+    o.obs_probe_interval_s = parse_double("DMP_OBS_PROBE_S", v);
+  }
+  if (const char* v = get("DMP_TRACE")) o.trace = parse_bool("DMP_TRACE", v);
+  if (const char* v = get("DMP_FIG7_DURATION_S")) {
+    o.fig7_duration_s = parse_double("DMP_FIG7_DURATION_S", v);
+  }
+  if (const char* v = get("DMP_TABLE1_PROBE_S")) {
+    o.table1_probe_s = parse_double("DMP_TABLE1_PROBE_S", v);
+  }
+
+  if (o.runs < 1) fail("DMP_RUNS must be >= 1");
+  if (!(o.duration_s > 0.0)) fail("DMP_DURATION_S must be > 0");
+  if (o.mc_min < 1) fail("DMP_MC_MIN must be >= 1");
+  if (o.mc_max < o.mc_min) fail("DMP_MC_MAX must be >= DMP_MC_MIN");
+  if (!(o.obs_probe_interval_s > 0.0)) fail("DMP_OBS_PROBE_S must be > 0");
+  if (!(o.fig7_duration_s > 0.0)) fail("DMP_FIG7_DURATION_S must be > 0");
+  if (!(o.table1_probe_s > 0.0)) fail("DMP_TABLE1_PROBE_S must be > 0");
+  return o;
+}
+
+std::string BenchOptions::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "runs=%lld duration_s=%g seed=%llu mc=[%llu, %llu] "
+                "threads=%zu obs=%d trace=%d",
+                static_cast<long long>(runs), duration_s,
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(mc_min),
+                static_cast<unsigned long long>(mc_max), threads, obs ? 1 : 0,
+                trace ? 1 : 0);
+  return buf;
+}
+
+BenchOptions bench_options() {
+  static bool printed = false;
+  try {
+    BenchOptions o = BenchOptions::from_env();
+    if (!printed) {
+      printed = true;
+      std::printf("[bench config] %s\n", o.summary().c_str());
+    }
+    return o;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+}  // namespace dmp::exp

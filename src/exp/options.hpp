@@ -1,0 +1,47 @@
+// Validated bench configuration from DMP_* environment variables.
+//
+// Every bench binary reads the same knob set through BenchOptions, so a
+// typo'd variable (DMP_RUN, DMP_DURATION) fails loudly instead of being
+// silently ignored, out-of-range values are rejected with the offending
+// name and value, and the effective configuration is printed exactly once
+// per process so a run's provenance is always in its log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmp::exp {
+
+struct BenchOptions {
+  std::int64_t runs = 8;             // DMP_RUNS: replications per setting
+  double duration_s = 3000.0;        // DMP_DURATION_S: simulated video length
+  std::uint64_t seed = 2007;         // DMP_SEED: root of every seed stream
+  std::uint64_t mc_min = 400'000;    // DMP_MC_MIN: Monte-Carlo budget floor
+  std::uint64_t mc_max = 6'400'000;  // DMP_MC_MAX: Monte-Carlo budget ceiling
+  // DMP_THREADS: experiment-runner worker count; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  // DMP_OBS=1 attaches the observability layer (metrics registry, gauge
+  // probe CSV, event JSONL, RunReport JSON) to the first replication.
+  bool obs = false;
+  double obs_probe_interval_s = 1.0;  // DMP_OBS_PROBE_S
+  // DMP_TRACE=1 additionally attaches the per-packet flight recorder to
+  // the first replication (inspect with `trace_query`).
+  bool trace = false;
+  double fig7_duration_s = 3000.0;  // DMP_FIG7_DURATION_S
+  double table1_probe_s = 120.0;    // DMP_TABLE1_PROBE_S
+
+  // Parses and validates the environment.  Throws std::invalid_argument
+  // naming the variable on a malformed value, an out-of-range value, or an
+  // unrecognized DMP_*-prefixed variable.
+  static BenchOptions from_env();
+
+  // One-line effective configuration (printed by `bench_options()` below).
+  std::string summary() const;
+};
+
+// from_env() with bench ergonomics: on failure prints the error to stderr
+// and exits with status 2; on success prints the effective configuration
+// once per process.
+BenchOptions bench_options();
+
+}  // namespace dmp::exp

@@ -1,0 +1,90 @@
+// Experiment plans: named session settings, a replication count, and the
+// seed-stream discipline that makes the parallel runner reproducible.
+//
+// Every random quantity in a bench draws from a SeedStream rooted at the
+// single DMP_SEED value, with a distinct domain per purpose (replication,
+// backlogged probe, Monte-Carlo, WAN emulation).  Domains are disjoint by
+// construction, so replication r of setting s can never collide with a
+// probe seed the way the old additive scheme did (`seed + 1` vs
+// `seed + r` at r = 1), and seeds are O(1) to derive, which lets a worker
+// thread pick up replication 7 without generating replications 0..6.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stream/session.hpp"
+#include "util/seed_stream.hpp"
+
+namespace dmp::exp {
+
+namespace seed_domain {
+
+// One domain per independent purpose.  `stream(kind, index)` packs a
+// purpose with a bench-local index (setting number, experiment number) so
+// e.g. each setting's replications form their own disjoint stream.
+inline constexpr std::uint64_t kReplication = 1;  // per-setting session seeds
+inline constexpr std::uint64_t kProbe = 2;        // backlogged-probe seeds
+inline constexpr std::uint64_t kModelMc = 3;      // model Monte-Carlo seeds
+inline constexpr std::uint64_t kEmul = 4;         // WAN-emulation seeds
+
+inline constexpr std::uint64_t stream(std::uint64_t kind,
+                                      std::uint64_t index) {
+  return (kind << 32) | index;
+}
+
+}  // namespace seed_domain
+
+// Seed for replication `rep` of setting `setting` under root seed `root`.
+inline std::uint64_t replication_seed(std::uint64_t root, std::size_t setting,
+                                      std::size_t rep) {
+  return SeedStream(root, seed_domain::stream(seed_domain::kReplication,
+                                              setting))
+      .at(rep);
+}
+
+// The probe stream for a bench: element k seeds the k-th backlogged-probe
+// measurement (disjoint from every replication seed).
+inline SeedStream probe_stream(std::uint64_t root, std::uint64_t index = 0) {
+  return SeedStream(root, seed_domain::stream(seed_domain::kProbe, index));
+}
+
+// The Monte-Carlo stream for a bench: element i seeds the i-th model run.
+inline SeedStream mc_stream(std::uint64_t root, std::uint64_t index = 0) {
+  return SeedStream(root, seed_domain::stream(seed_domain::kModelMc, index));
+}
+
+struct PlanSetting {
+  std::string name;
+  // `config.seed` is ignored: the runner overwrites it with
+  // replication_seed(plan.seed, setting_index, rep).
+  SessionConfig config;
+};
+
+struct ExperimentPlan {
+  // Report name; the runner writes bench_out/BENCH_<name>.json.
+  std::string name;
+  std::vector<PlanSetting> settings;
+  std::size_t replications = 1;
+  std::uint64_t seed = 2007;  // root of every derived stream
+
+  // Optional per-replication hook, applied after the runner assigns the
+  // replication seed — e.g. attach observability to replication (0, 0)
+  // only.  Must be thread-safe: it runs on worker threads.
+  std::function<void(SessionConfig& config, std::size_t setting,
+                     std::size_t rep)>
+      configure;
+
+  // Optional scalar metrics extracted from each successful replication and
+  // aggregated into per-setting confidence intervals in the report.  Must
+  // return the same metric names for every replication of a setting.
+  // When empty the runner records a default set (late fractions at
+  // tau = 4/6/8/10 s and per-path loss/RTT/share).
+  std::function<std::vector<std::pair<std::string, double>>(
+      const SessionResult& result, std::size_t setting, std::size_t rep)>
+      metrics;
+};
+
+}  // namespace dmp::exp

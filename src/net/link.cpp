@@ -66,7 +66,7 @@ void Link::start_transmission(const Packet& p) {
   in_flight_ = p;
   const SimTime tx = transmission_time(p.size_bytes, config_.bandwidth_bps);
   busy_time_ += tx;
-  sched_.schedule_after(tx, [this] { on_transmit_done(); });
+  sched_.post_after(tx, [this] { on_transmit_done(); });
 }
 
 void Link::on_transmit_done() {
@@ -75,7 +75,7 @@ void Link::on_transmit_done() {
   const Packet delivered = in_flight_;
   ++total_delivered_;
   if (m_delivered_) m_delivered_->inc();
-  sched_.schedule_after(config_.prop_delay, [this, delivered] {
+  sched_.post_after(config_.prop_delay, [this, delivered] {
     if (receiver_) receiver_(delivered);
   });
   transmitting_ = false;

@@ -6,33 +6,62 @@
 
 namespace dmp {
 
-EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
+void Scheduler::push(SimTime when, EventFn fn, std::uint32_t slot) {
   if (when < now_) throw std::invalid_argument{"schedule_at: time in the past"};
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  std::uint32_t fn_index;
+  if (!free_fns_.empty()) {
+    fn_index = free_fns_.back();
+    free_fns_.pop_back();
+    fns_[fn_index] = std::move(fn);
+  } else {
+    fn_index = static_cast<std::uint32_t>(fns_.size());
+    fns_.push_back(std::move(fn));
+  }
+  queue_.push(Entry{when, next_seq_++, fn_index, slot});
   max_pending_ = std::max(max_pending_, queue_.size());
-  return EventHandle{std::move(state)};
 }
 
-EventHandle Scheduler::schedule_after(SimTime delay, std::function<void()> fn) {
+EventHandle Scheduler::schedule_at(SimTime when, EventFn fn) {
+  const std::uint32_t slot = pool_->acquire();
+  const std::uint32_t gen = pool_->slots[slot].gen;
+  push(when, std::move(fn), slot);
+  return EventHandle{pool_, slot, gen};
+}
+
+EventHandle Scheduler::schedule_after(SimTime delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::post_at(SimTime when, EventFn fn) {
+  push(when, std::move(fn), kNoSlot);
+}
+
+void Scheduler::post_after(SimTime delay, EventFn fn) {
+  post_at(now_ + delay, std::move(fn));
 }
 
 bool Scheduler::step(SimTime horizon) {
   while (!queue_.empty()) {
     if (queue_.top().when > horizon) return false;
-    // const_cast is safe: the entry is removed from the queue before use and
-    // priority_queue provides no non-const top().
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    const Entry top = queue_.top();
     queue_.pop();
-    if (entry.state->done) {  // lazily-cancelled event
-      ++cancelled_;
-      continue;
+    EventFn fn = std::move(fns_[top.fn_index]);
+    free_fns_.push_back(top.fn_index);
+    const SimTime when = top.when;
+    const std::uint32_t slot = top.slot;
+    if (slot != kNoSlot) {
+      // The slot is released exactly once — here — so its generation still
+      // matches this entry's and `cancelled` is this entry's flag.
+      const bool was_cancelled = pool_->slots[slot].cancelled;
+      pool_->release(slot);  // the handle goes dead before fn() runs
+      if (was_cancelled) {
+        ++cancelled_;
+        continue;
+      }
     }
-    entry.state->done = true;
-    now_ = entry.when;
+    now_ = when;
     ++executed_;
-    entry.fn();
+    fn();
     return true;
   }
   return false;

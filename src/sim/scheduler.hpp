@@ -5,19 +5,66 @@
 // runs deterministic.  Cancellation is lazy: `EventHandle::cancel()` marks
 // the entry and the run loop skips it when popped — O(1) cancel, no heap
 // surgery, which suits TCP timers that are rescheduled on every ACK.
+//
+// Hot-path cost model: callables live in a pooled slab of EventFn slots
+// (inline storage, no per-event heap allocation) and heap entries carry
+// only {time, seq, slot indexes} — 24 trivially-movable bytes — so sift
+// operations never touch the callable.  The common case (a link delivery,
+// a CBR tick) never cancels, so `post_at` / `post_after` skip cancellation
+// bookkeeping entirely.  `schedule_at` / `schedule_after` return a
+// cancellable EventHandle backed by a pooled generation-stamped slot: slots
+// are recycled through free lists, so steady-state timer churn allocates
+// nothing.  Handles stay safe after the scheduler dies (the slot pool is
+// shared) — they simply report `pending() == false`.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/sim_time.hpp"
 
 namespace dmp {
 
 class Scheduler;
+
+namespace detail {
+
+// Generation-stamped cancellation slots.  A slot matches a handle only
+// while the generations agree; firing or skipping an event bumps the
+// generation and recycles the slot.
+struct SlotPool {
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free_list;
+
+  std::uint32_t acquire() {
+    if (!free_list.empty()) {
+      const std::uint32_t idx = free_list.back();
+      free_list.pop_back();
+      return idx;
+    }
+    slots.push_back(Slot{});
+    return static_cast<std::uint32_t>(slots.size() - 1);
+  }
+
+  void release(std::uint32_t idx) {
+    ++slots[idx].gen;
+    slots[idx].cancelled = false;
+    free_list.push_back(idx);
+  }
+
+  bool live(std::uint32_t idx, std::uint32_t gen) const {
+    return slots[idx].gen == gen;
+  }
+};
+
+}  // namespace detail
 
 // Shared cancellation token for a scheduled event.
 class EventHandle {
@@ -25,18 +72,22 @@ class EventHandle {
   EventHandle() = default;
 
   // True while the event is scheduled and not cancelled / fired.
-  bool pending() const { return state_ && !state_->done; }
+  bool pending() const {
+    return pool_ && pool_->live(slot_, gen_) && !pool_->slots[slot_].cancelled;
+  }
   void cancel() {
-    if (state_) state_->done = true;
+    if (pool_ && pool_->live(slot_, gen_)) pool_->slots[slot_].cancelled = true;
   }
 
  private:
   friend class Scheduler;
-  struct State {
-    bool done = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(std::shared_ptr<detail::SlotPool> pool, std::uint32_t slot,
+              std::uint32_t gen)
+      : pool_(std::move(pool)), slot_(slot), gen_(gen) {}
+
+  std::shared_ptr<detail::SlotPool> pool_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Scheduler {
@@ -48,9 +99,14 @@ class Scheduler {
   SimTime now() const { return now_; }
 
   // Schedule `fn` at absolute time `when` (must be >= now()).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(SimTime when, EventFn fn);
   // Schedule `fn` after a relative delay (must be >= 0).
-  EventHandle schedule_after(SimTime delay, std::function<void()> fn);
+  EventHandle schedule_after(SimTime delay, EventFn fn);
+
+  // Fire-and-forget variants for events that are never cancelled (packet
+  // deliveries, generator ticks): no slot, no handle, no shared state.
+  void post_at(SimTime when, EventFn fn);
+  void post_after(SimTime delay, EventFn fn);
 
   // Run until the event queue drains or the clock passes `horizon`.
   // Returns the number of events executed.
@@ -76,11 +132,16 @@ class Scheduler {
   std::size_t max_events_pending() const { return max_pending_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  // Heap entries are deliberately tiny and trivially movable: the callable
+  // sits in the fns_ slab, referenced by index, so priority-queue sifts
+  // shuffle 24 bytes instead of a type-erased function object.
   struct Entry {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t fn_index;  // into fns_
+    std::uint32_t slot;      // kNoSlot for fire-and-forget posts
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -89,11 +150,17 @@ class Scheduler {
     }
   };
 
+  void push(SimTime when, EventFn fn, std::uint32_t slot);
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::size_t max_pending_ = 0;
+  std::shared_ptr<detail::SlotPool> pool_ =
+      std::make_shared<detail::SlotPool>();
+  std::vector<EventFn> fns_;               // slab of pending callables
+  std::vector<std::uint32_t> free_fns_;    // recycled slab indexes
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

@@ -18,7 +18,7 @@ DmpStreamingServer::DmpStreamingServer(Scheduler& sched, double mu_pps,
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
-  sched_.schedule_at(start, [this] { generate(); });
+  sched_.post_at(start, [this] { generate(); });
 }
 
 void DmpStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
@@ -52,7 +52,7 @@ void DmpStreamingServer::generate() {
   }
   offer_all();
   if (sched_.now() + period_ < end_) {
-    sched_.schedule_after(period_, [this] { generate(); });
+    sched_.post_after(period_, [this] { generate(); });
   }
 }
 

@@ -18,12 +18,13 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "stream/stream_server.hpp"
 #include "tcp/reno_sender.hpp"
 #include "util/sim_time.hpp"
 
 namespace dmp {
 
-class DmpStreamingServer {
+class DmpStreamingServer : public StreamServer {
  public:
   // `senders` must outlive the server.  Generation begins at `start` and
   // runs for `duration`; `mu_pps` is the CBR playback rate in packets/s.
@@ -31,27 +32,35 @@ class DmpStreamingServer {
                      std::vector<RenoSender*> senders, SimTime start,
                      SimTime duration);
 
-  std::int64_t packets_generated() const { return next_number_; }
+  std::int64_t packets_generated() const override { return next_number_; }
   std::size_t queue_length() const { return queue_.size(); }
   double mu() const { return mu_pps_; }
   // Peak backlog observed in the server queue (diagnostic: bounded by
   // mu * (time TCP lags behind generation)).
   std::size_t max_queue_length() const { return max_queue_; }
   // Packets fetched by sender k since the start of the run.
-  std::uint64_t pulls(std::size_t k) const { return pulls_[k]; }
+  std::uint64_t pulls(std::size_t k) const override { return pulls_[k]; }
+
+  const char* scheme_name() const override { return "dmp"; }
 
   // Registers `<prefix>.queue_depth` / `<prefix>.max_queue_depth` sampler
   // gauges, the `<prefix>.generated` counter, and one `<prefix>.pulls.
   // path<k>` counter per sender.  Optional; a no-op when never called.
   void attach_metrics(obs::MetricsRegistry& registry,
-                      const std::string& prefix);
+                      const std::string& prefix) override;
   // Emits per-pull "pull" events at kDebug severity.
-  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+  void set_event_log(obs::EventLog* log) override { event_log_ = log; }
   // Records per-stream-packet birth (kGenerate, with the shared-queue depth)
   // and sender fetch (kPull, with the chosen path) span events.  Optional;
   // a no-op when never called.
-  void set_flight_recorder(obs::FlightRecorder* recorder) {
+  void set_flight_recorder(obs::FlightRecorder* recorder) override {
     flight_ = recorder;
+  }
+
+  // One shared backlog gauge.
+  std::vector<std::string> probe_columns(
+      const std::string& prefix, std::size_t /*num_flows*/) const override {
+    return {prefix + ".queue_depth"};
   }
 
  private:

@@ -9,24 +9,13 @@
 #include "obs/probe.hpp"
 #include "obs/run_report.hpp"
 #include "sim/scheduler.hpp"
-#include "stream/dmp_server.hpp"
-#include "stream/static_server.hpp"
-#include "stream/stored_server.hpp"
+#include "stream/stream_server.hpp"
 #include "tcp/connection.hpp"
 #include "util/rng.hpp"
 
 namespace dmp {
 
 namespace {
-
-const char* scheme_name(StreamScheme scheme) {
-  switch (scheme) {
-    case StreamScheme::kDmp: return "dmp";
-    case StreamScheme::kStatic: return "static";
-    case StreamScheme::kStored: return "stored";
-  }
-  return "?";
-}
 
 // Registers the scheduler's work counters as sampler gauges so probes can
 // plot event-rate over time (the scheduler itself stays obs-free to keep
@@ -161,40 +150,15 @@ SessionResult run_session(const SessionConfig& config) {
         });
   }
 
-  // --- server (scheme under test) ---
-  std::unique_ptr<DmpStreamingServer> dmp_server;
-  std::unique_ptr<StaticStreamingServer> static_server;
-  std::unique_ptr<StoredStreamingServer> stored_server;
+  // --- server (scheme under test; one interface, no per-scheme wiring) ---
   const SimTime duration = SimTime::seconds(config.duration_s);
-  const auto stored_total = static_cast<std::int64_t>(
-      std::llround(config.mu_pps * config.duration_s));
-  switch (config.scheme) {
-    case StreamScheme::kDmp:
-      dmp_server = std::make_unique<DmpStreamingServer>(
-          sched, config.mu_pps, senders, epoch, duration);
-      if (registry) {
-        dmp_server->attach_metrics(*registry, "server");
-        dmp_server->set_event_log(events.get());
-      }
-      if (flight) dmp_server->set_flight_recorder(flight.get());
-      break;
-    case StreamScheme::kStatic:
-      static_server = std::make_unique<StaticStreamingServer>(
-          sched, config.mu_pps, senders, epoch, duration,
-          config.static_weights);
-      if (registry) static_server->attach_metrics(*registry, "server");
-      if (flight) static_server->set_flight_recorder(flight.get());
-      break;
-    case StreamScheme::kStored:
-      // The whole video is on disk; transmission starts at the epoch.
-      sched.schedule_at(epoch, [&sched, &stored_server, senders, stored_total,
-                                registry, fr = flight.get()] {
-        stored_server = std::make_unique<StoredStreamingServer>(
-            sched, stored_total, senders, fr);
-        if (registry) stored_server->attach_metrics(*registry, "server");
-      });
-      break;
+  std::unique_ptr<StreamServer> server =
+      make_stream_server(config, sched, senders, epoch, duration);
+  if (registry) {
+    server->attach_metrics(*registry, "server");
+    server->set_event_log(events.get());
   }
+  if (flight) server->set_flight_recorder(flight.get());
 
   const SimTime horizon =
       epoch + duration + SimTime::seconds(config.drain_s);
@@ -203,16 +167,8 @@ SessionResult run_session(const SessionConfig& config) {
   std::unique_ptr<obs::Probe> probe;
   SessionResult result;
   if (registry) {
-    std::vector<std::string> columns;
-    if (config.scheme == StreamScheme::kDmp) {
-      columns.push_back("server.queue_depth");
-    } else if (config.scheme == StreamScheme::kStatic) {
-      for (std::size_t k = 0; k < config.num_flows; ++k) {
-        columns.push_back("server.queue_depth.path" + std::to_string(k));
-      }
-    } else {
-      columns.push_back("server.remaining");
-    }
+    std::vector<std::string> columns =
+        server->probe_columns("server", config.num_flows);
     for (std::size_t k = 0; k < config.num_flows; ++k) {
       const std::string path = ".path" + std::to_string(k);
       columns.push_back("tcp" + path + ".cwnd");
@@ -237,17 +193,7 @@ SessionResult run_session(const SessionConfig& config) {
   if (probe) probe->stop();
 
   // --- per-path measurements (Table 2 / Table 3 rows) ---
-  switch (config.scheme) {
-    case StreamScheme::kDmp:
-      result.packets_generated = dmp_server->packets_generated();
-      break;
-    case StreamScheme::kStatic:
-      result.packets_generated = static_server->packets_generated();
-      break;
-    case StreamScheme::kStored:
-      result.packets_generated = stored_total;
-      break;
-  }
+  result.packets_generated = server->packets_generated();
   const auto split = trace.path_split(config.num_flows);
   for (std::size_t k = 0; k < config.num_flows; ++k) {
     const DumbbellPath& path = config.correlated ? *paths[0] : *paths[k];
@@ -286,7 +232,7 @@ SessionResult run_session(const SessionConfig& config) {
     }
 
     obs::RunReport report;
-    report.set_text("scheme", scheme_name(config.scheme));
+    report.set_text("scheme", server->scheme_name());
     report.set_scalar("mu_pps", config.mu_pps);
     report.set_scalar("duration_s", config.duration_s);
     report.set_scalar("warmup_s", config.warmup_s);

@@ -27,10 +27,11 @@ StaticStreamingServer::StaticStreamingServer(Scheduler& sched, double mu_pps,
     weights_.push_back(w / total);
   }
   assigned_.assign(senders_.size(), 0);
+  pulls_.assign(senders_.size(), 0);
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
-  sched_.schedule_at(start, [this] { generate(); });
+  sched_.post_at(start, [this] { generate(); });
 }
 
 void StaticStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
@@ -82,7 +83,7 @@ void StaticStreamingServer::generate() {
   }
   pull_into(k);
   if (sched_.now() + period_ < end_) {
-    sched_.schedule_after(period_, [this] { generate(); });
+    sched_.post_after(period_, [this] { generate(); });
   }
 }
 
@@ -92,6 +93,7 @@ void StaticStreamingServer::pull_into(std::size_t k) {
   while (!queues_[k].empty() && senders_[k]->space() > 0) {
     const std::int64_t number = queues_[k].front();
     queues_[k].pop_front();
+    ++pulls_[k];
     if (!m_pulls_.empty()) m_pulls_[k]->inc();
     if (flight_) {
       obs::FlightEvent e;

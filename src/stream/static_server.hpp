@@ -14,12 +14,13 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "stream/stream_server.hpp"
 #include "tcp/reno_sender.hpp"
 #include "util/sim_time.hpp"
 
 namespace dmp {
 
-class StaticStreamingServer {
+class StaticStreamingServer : public StreamServer {
  public:
   // `weights` gives the long-run fraction of packets per path (measured
   // average bandwidths in the paper); empty means an even split.
@@ -27,20 +28,34 @@ class StaticStreamingServer {
                         std::vector<RenoSender*> senders, SimTime start,
                         SimTime duration, std::vector<double> weights = {});
 
-  std::int64_t packets_generated() const { return next_number_; }
+  std::int64_t packets_generated() const override { return next_number_; }
   std::size_t queue_length(std::size_t k) const { return queues_[k].size(); }
+  // Packets fetched by sender k from its private queue.
+  std::uint64_t pulls(std::size_t k) const override { return pulls_[k]; }
+
+  const char* scheme_name() const override { return "static"; }
 
   // Registers the `<prefix>.generated` counter, per-path `<prefix>.pulls.
   // path<k>` counters and `<prefix>.queue_depth.path<k>` sampler gauges.
   // Optional; a no-op when never called.
   void attach_metrics(obs::MetricsRegistry& registry,
-                      const std::string& prefix);
+                      const std::string& prefix) override;
 
   // Records per-stream-packet birth (kGenerate, with the chosen path and
   // that path's private-queue depth) and sender fetch (kPull) span events.
   // Optional; a no-op when never called.
-  void set_flight_recorder(obs::FlightRecorder* recorder) {
+  void set_flight_recorder(obs::FlightRecorder* recorder) override {
     flight_ = recorder;
+  }
+
+  // One private backlog gauge per path.
+  std::vector<std::string> probe_columns(
+      const std::string& prefix, std::size_t num_flows) const override {
+    std::vector<std::string> columns;
+    for (std::size_t k = 0; k < num_flows; ++k) {
+      columns.push_back(prefix + ".queue_depth.path" + std::to_string(k));
+    }
+    return columns;
   }
 
  private:
@@ -58,6 +73,7 @@ class StaticStreamingServer {
 
   std::vector<std::deque<std::int64_t>> queues_;
   std::int64_t next_number_ = 0;
+  std::vector<std::uint64_t> pulls_;
 
   obs::Counter* m_generated_ = nullptr;
   std::vector<obs::Counter*> m_pulls_;

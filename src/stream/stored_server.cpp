@@ -7,18 +7,18 @@ namespace dmp {
 StoredStreamingServer::StoredStreamingServer(Scheduler& sched,
                                              std::int64_t total_packets,
                                              std::vector<RenoSender*> senders,
-                                             obs::FlightRecorder* flight)
-    : sched_(sched),
-      senders_(std::move(senders)),
-      total_(total_packets),
-      flight_(flight) {
+                                             SimTime start)
+    : sched_(sched), senders_(std::move(senders)), total_(total_packets) {
   if (senders_.empty()) throw std::invalid_argument{"need >= 1 sender"};
   if (total_ <= 0) throw std::invalid_argument{"video must be non-empty"};
+  pulls_.assign(senders_.size(), 0);
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
-  // Prime every sender immediately — the whole video is available.
-  for (std::size_t k = 0; k < senders_.size(); ++k) pull_into(k);
+  // Prime every sender at `start` — the whole video is available then.
+  sched_.post_at(start, [this] {
+    for (std::size_t k = 0; k < senders_.size(); ++k) pull_into(k);
+  });
 }
 
 void StoredStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
@@ -39,6 +39,7 @@ void StoredStreamingServer::pull_into(std::size_t k) {
   // (enqueue itself emits the tcp/link events).
   while (next_number_ < total_ && senders_[k]->space() > 0) {
     const std::int64_t number = next_number_++;
+    ++pulls_[k];
     if (!m_pulls_.empty()) {
       m_pulls_[k]->inc();
       m_dispatched_->inc();

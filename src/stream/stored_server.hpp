@@ -17,31 +17,49 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "stream/stream_server.hpp"
 #include "tcp/reno_sender.hpp"
 
 namespace dmp {
 
-class StoredStreamingServer {
+class StoredStreamingServer : public StreamServer {
  public:
-  // Streams packets [0, total_packets) over the given senders, starting
-  // immediately; `mu_pps` is kept only for bookkeeping symmetry with the
-  // live server (the send rate is whatever TCP achieves).  The optional
-  // `flight` recorder is taken as a constructor argument because the
-  // constructor already primes every sender — a post-construction setter
-  // would miss those first pulls.
+  // Streams packets [0, total_packets) over the given senders.  Dispatch
+  // begins at `start` (a scheduled event, so metrics / recorders attached
+  // between construction and `start` observe the very first pulls); the
+  // send rate is whatever TCP achieves.
   StoredStreamingServer(Scheduler& sched, std::int64_t total_packets,
                         std::vector<RenoSender*> senders,
-                        obs::FlightRecorder* flight = nullptr);
+                        SimTime start = SimTime::zero());
 
   std::int64_t packets_total() const { return total_; }
   std::int64_t packets_dispatched() const { return next_number_; }
   bool finished() const { return next_number_ == total_; }
 
+  // The whole video exists before streaming starts, so every packet counts
+  // toward the late-fraction denominator from the outset.
+  std::int64_t packets_generated() const override { return total_; }
+  std::uint64_t pulls(std::size_t k) const override { return pulls_[k]; }
+
+  const char* scheme_name() const override { return "stored"; }
+
   // Registers the `<prefix>.dispatched` counter, per-path `<prefix>.pulls.
   // path<k>` counters and a `<prefix>.remaining` sampler gauge.  Optional;
   // a no-op when never called.
   void attach_metrics(obs::MetricsRegistry& registry,
-                      const std::string& prefix);
+                      const std::string& prefix) override;
+
+  // Records sender fetch (kPull) span events.  Optional; call before the
+  // `start` instant to capture the priming pulls.
+  void set_flight_recorder(obs::FlightRecorder* recorder) override {
+    flight_ = recorder;
+  }
+
+  // Remaining-packets gauge (there is no generation-side backlog).
+  std::vector<std::string> probe_columns(
+      const std::string& prefix, std::size_t /*num_flows*/) const override {
+    return {prefix + ".remaining"};
+  }
 
  private:
   void pull_into(std::size_t k);
@@ -50,6 +68,7 @@ class StoredStreamingServer {
   std::vector<RenoSender*> senders_;
   std::int64_t total_;
   std::int64_t next_number_ = 0;
+  std::vector<std::uint64_t> pulls_;
 
   std::vector<obs::Counter*> m_pulls_;
   obs::Counter* m_dispatched_ = nullptr;

@@ -1,0 +1,33 @@
+#include "stream/stream_server.hpp"
+
+#include <cmath>
+
+#include "stream/dmp_server.hpp"
+#include "stream/session.hpp"
+#include "stream/static_server.hpp"
+#include "stream/stored_server.hpp"
+
+namespace dmp {
+
+std::unique_ptr<StreamServer> make_stream_server(
+    const SessionConfig& config, Scheduler& sched,
+    std::vector<RenoSender*> senders, SimTime epoch, SimTime duration) {
+  switch (config.scheme) {
+    case StreamScheme::kDmp:
+      return std::make_unique<DmpStreamingServer>(
+          sched, config.mu_pps, std::move(senders), epoch, duration);
+    case StreamScheme::kStatic:
+      return std::make_unique<StaticStreamingServer>(
+          sched, config.mu_pps, std::move(senders), epoch, duration,
+          config.static_weights);
+    case StreamScheme::kStored:
+      return std::make_unique<StoredStreamingServer>(
+          sched,
+          static_cast<std::int64_t>(
+              std::llround(config.mu_pps * config.duration_s)),
+          std::move(senders), epoch);
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace dmp

@@ -1,0 +1,63 @@
+// The common interface of the three streaming servers (DMP, static,
+// stored).  The session harness and the observability wiring talk to this
+// interface only, so adding a scheme means implementing it and extending
+// the factory — not editing a switch in every consumer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "util/sim_time.hpp"
+
+namespace dmp {
+
+class RenoSender;
+class Scheduler;
+struct SessionConfig;
+
+class StreamServer {
+ public:
+  virtual ~StreamServer() = default;
+
+  // Stream packets the scheme accounts for: packets generated so far for
+  // live schemes, the full video length for stored streaming (the whole
+  // file exists up front).  This is the denominator of every late-fraction
+  // metric.
+  virtual std::int64_t packets_generated() const = 0;
+
+  // Packets fetched by sender k since the start of the run.
+  virtual std::uint64_t pulls(std::size_t k) const = 0;
+
+  // Short scheme tag for reports ("dmp", "static", "stored").
+  virtual const char* scheme_name() const = 0;
+
+  // Registers the scheme's counters and sampler gauges under `prefix`.
+  // Optional; a no-op when never called.
+  virtual void attach_metrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) = 0;
+
+  // Per-pull / per-generate diagnostics.  Base-class no-ops: schemes opt in.
+  virtual void set_event_log(obs::EventLog*) {}
+  virtual void set_flight_recorder(obs::FlightRecorder*) {}
+
+  // Gauge names (under `prefix`) a time-series probe should sample for this
+  // scheme — the scheme knows whether its backlog is one shared queue,
+  // per-path queues, or a remaining-packets count.
+  virtual std::vector<std::string> probe_columns(
+      const std::string& prefix, std::size_t num_flows) const = 0;
+};
+
+// Builds the server for `config.scheme`: generation starts at `epoch` and
+// lasts `duration` (live schemes) or dispatches the whole
+// `mu * duration`-packet video from `epoch` on (stored).  `senders` must
+// outlive the returned server.
+std::unique_ptr<StreamServer> make_stream_server(
+    const SessionConfig& config, Scheduler& sched,
+    std::vector<RenoSender*> senders, SimTime epoch, SimTime duration);
+
+}  // namespace dmp

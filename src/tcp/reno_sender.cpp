@@ -109,7 +109,7 @@ void RenoSender::transmit(const Packet& p) {
   SimTime when = sched_.now() + jitter;
   if (when <= last_emission_) when = last_emission_ + SimTime::nanos(1);
   last_emission_ = when;
-  sched_.schedule_at(when, [this, p] { out_(p); });
+  sched_.post_at(when, [this, p] { out_(p); });
 }
 
 SimTime RenoSender::current_rto() const {

@@ -1,0 +1,27 @@
+#include "util/seed_stream.hpp"
+
+namespace dmp {
+
+namespace {
+
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+// SplitMix64 finalizer (the output function applied to a raw state).
+constexpr std::uint64_t finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t domain,
+                          std::uint64_t index) {
+  // Mix the domain through the finalizer before combining with the root so
+  // that small domain tags (1, 2, 3, ...) land far apart, then jump the
+  // SplitMix64 state directly to element `index`.
+  const std::uint64_t base = finalize(root + finalize(domain * kGamma + 1));
+  return finalize(base + (index + 1) * kGamma);
+}
+
+}  // namespace dmp

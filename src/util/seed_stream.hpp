@@ -1,0 +1,44 @@
+// Deterministic seed derivation for experiments.
+//
+// A SeedStream is an indexed family of 64-bit seeds derived from a (root,
+// domain) pair with SplitMix64: element i is the finalizer output of the
+// state `base + (i+1) * GAMMA`, where `base` itself is a finalizer output
+// mixing root and domain.  Two streams with different domains walk
+// pseudo-random, effectively disjoint regions of the 2^64 state space, so
+// replication seeds, probe seeds and Monte-Carlo seeds can never collide
+// the way additive schemes do (`seed + 1` vs `seed + r`).  `at()` is O(1),
+// which lets a parallel runner hand replication r its seed without
+// generating the first r-1.
+#pragma once
+
+#include <cstdint>
+
+namespace dmp {
+
+// Element `index` of the stream identified by (root, domain).
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t domain,
+                          std::uint64_t index);
+
+class SeedStream {
+ public:
+  SeedStream(std::uint64_t root, std::uint64_t domain)
+      : root_(root), domain_(domain) {}
+
+  std::uint64_t at(std::uint64_t index) const {
+    return derive_seed(root_, domain_, index);
+  }
+
+  // An independent child stream rooted at element `index` of this one.
+  SeedStream substream(std::uint64_t index) const {
+    return SeedStream(at(index), domain_ + 1);
+  }
+
+  std::uint64_t root() const { return root_; }
+  std::uint64_t domain() const { return domain_; }
+
+ private:
+  std::uint64_t root_;
+  std::uint64_t domain_;
+};
+
+}  // namespace dmp

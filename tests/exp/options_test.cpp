@@ -1,0 +1,128 @@
+#include "exp/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dmp::exp {
+namespace {
+
+// Clears every DMP_* variable around each test so the suite is immune to
+// the invoking shell's environment.
+class OptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+
+  static void clear() {
+    for (const char* name :
+         {"DMP_RUNS", "DMP_DURATION_S", "DMP_SEED", "DMP_MC_MIN",
+          "DMP_MC_MAX", "DMP_THREADS", "DMP_OBS", "DMP_OBS_PROBE_S",
+          "DMP_TRACE", "DMP_OUT_DIR", "DMP_FIG7_DURATION_S",
+          "DMP_TABLE1_PROBE_S", "DMP_SANITIZE", "DMP_CHECK_BUILD_DIR",
+          "DMP_TYPO", "DMP_RUN"}) {
+      unsetenv(name);
+    }
+  }
+};
+
+TEST_F(OptionsTest, DefaultsWithEmptyEnvironment) {
+  const auto options = BenchOptions::from_env();
+  EXPECT_EQ(options.runs, 8);
+  EXPECT_DOUBLE_EQ(options.duration_s, 3000.0);
+  EXPECT_EQ(options.seed, 2007u);
+  EXPECT_EQ(options.mc_min, 400'000u);
+  EXPECT_EQ(options.mc_max, 6'400'000u);
+  EXPECT_EQ(options.threads, 0u);
+  EXPECT_FALSE(options.obs);
+  EXPECT_FALSE(options.trace);
+}
+
+TEST_F(OptionsTest, ParsesAllKnobs) {
+  setenv("DMP_RUNS", "3", 1);
+  setenv("DMP_DURATION_S", "120.5", 1);
+  setenv("DMP_SEED", "99", 1);
+  setenv("DMP_MC_MIN", "1000", 1);
+  setenv("DMP_MC_MAX", "2000", 1);
+  setenv("DMP_THREADS", "4", 1);
+  setenv("DMP_OBS", "1", 1);
+  setenv("DMP_TRACE", "1", 1);
+  const auto options = BenchOptions::from_env();
+  EXPECT_EQ(options.runs, 3);
+  EXPECT_DOUBLE_EQ(options.duration_s, 120.5);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(options.mc_min, 1000u);
+  EXPECT_EQ(options.mc_max, 2000u);
+  EXPECT_EQ(options.threads, 4u);
+  EXPECT_TRUE(options.obs);
+  EXPECT_TRUE(options.trace);
+}
+
+TEST_F(OptionsTest, RejectsUnknownDmpVariable) {
+  setenv("DMP_TYPO", "1", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, RejectsMisspelledKnob) {
+  setenv("DMP_RUN", "8", 1);  // missing the S
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, KnownNonBenchVariablesAreAllowed) {
+  setenv("DMP_OUT_DIR", "/tmp/x", 1);
+  setenv("DMP_SANITIZE", "asan", 1);
+  EXPECT_NO_THROW(BenchOptions::from_env());
+}
+
+TEST_F(OptionsTest, RejectsMalformedNumbers) {
+  setenv("DMP_RUNS", "eight", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+  clear();
+  setenv("DMP_RUNS", "8x", 1);  // trailing junk is an error, not 8
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+  clear();
+  setenv("DMP_DURATION_S", "", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, RejectsOutOfRangeValues) {
+  setenv("DMP_RUNS", "0", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+  clear();
+  setenv("DMP_DURATION_S", "-5", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+  clear();
+  setenv("DMP_MC_MIN", "5000", 1);
+  setenv("DMP_MC_MAX", "100", 1);  // max < min
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+  clear();
+  setenv("DMP_THREADS", "-1", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+  clear();
+  setenv("DMP_THREADS", "100000", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, ErrorNamesTheVariable) {
+  setenv("DMP_MC_MAX", "ten", 1);
+  try {
+    BenchOptions::from_env();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("DMP_MC_MAX"), std::string::npos);
+  }
+}
+
+TEST_F(OptionsTest, SummaryMentionsEffectiveValues) {
+  setenv("DMP_RUNS", "5", 1);
+  setenv("DMP_THREADS", "2", 1);
+  const auto summary = BenchOptions::from_env().summary();
+  EXPECT_NE(summary.find("runs=5"), std::string::npos);
+  EXPECT_NE(summary.find("threads=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmp::exp
