@@ -87,7 +87,11 @@ inline exp::ExperimentPlan plan_for(const std::string& name,
   plan.replications = static_cast<std::size_t>(options.runs);
   plan.seed = options.seed;
   for (const auto& setting : settings) {
-    plan.settings.push_back({setting.name, session_for(setting, duration_s)});
+    SessionConfig config = session_for(setting, duration_s);
+    // DMP_FAULTS applies the same fault plan to every session the bench
+    // runs (empty by default — no injector is constructed).
+    config.faults = options.faults;
+    plan.settings.push_back({setting.name, std::move(config)});
   }
   // Attach observability / flight recording to the very first replication.
   if (options.obs || options.trace) {

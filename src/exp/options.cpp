@@ -1,5 +1,7 @@
 #include "exp/options.hpp"
 
+#include "fault/fault_plan.hpp"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -22,7 +24,7 @@ const char* const kKnownVars[] = {
     "DMP_MC_MIN",         "DMP_MC_MAX",          "DMP_THREADS",
     "DMP_OBS",            "DMP_OBS_PROBE_S",     "DMP_TRACE",
     "DMP_OUT_DIR",        "DMP_FIG7_DURATION_S", "DMP_TABLE1_PROBE_S",
-    "DMP_SANITIZE",       "DMP_CHECK_BUILD_DIR",
+    "DMP_FAULTS",         "DMP_SANITIZE",        "DMP_CHECK_BUILD_DIR",
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -73,7 +75,8 @@ void reject_unknown_vars() {
       fail("unknown variable " + std::string(name) +
            " (misspelled knob? known: DMP_RUNS DMP_DURATION_S DMP_SEED "
            "DMP_MC_MIN DMP_MC_MAX DMP_THREADS DMP_OBS DMP_OBS_PROBE_S "
-           "DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S DMP_TABLE1_PROBE_S)");
+           "DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S DMP_TABLE1_PROBE_S "
+           "DMP_FAULTS)");
     }
   }
 }
@@ -111,6 +114,14 @@ BenchOptions BenchOptions::from_env() {
   }
   if (const char* v = get("DMP_TABLE1_PROBE_S")) {
     o.table1_probe_s = parse_double("DMP_TABLE1_PROBE_S", v);
+  }
+  if (const char* v = get("DMP_FAULTS")) {
+    try {
+      fault::FaultPlan::parse(v);  // validation only; benches re-parse
+    } catch (const std::exception& e) {
+      fail("DMP_FAULTS: " + std::string(e.what()));
+    }
+    o.faults = v;
   }
 
   if (o.runs < 1) fail("DMP_RUNS must be >= 1");

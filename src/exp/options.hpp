@@ -29,6 +29,10 @@ struct BenchOptions {
   bool trace = false;
   double fig7_duration_s = 3000.0;  // DMP_FIG7_DURATION_S
   double table1_probe_s = 120.0;    // DMP_TABLE1_PROBE_S
+  // DMP_FAULTS: fault-plan spec applied to every simulated session a bench
+  // runs (src/fault/ grammar, e.g. "20 link_down path1; 25 link_up path1").
+  // Validated by parsing here so a typo'd plan fails before any run starts.
+  std::string faults{};
 
   // Parses and validates the environment.  Throws std::invalid_argument
   // naming the variable on a malformed value, an out-of-range value, or an

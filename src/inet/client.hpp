@@ -27,6 +27,17 @@ struct ClientConfig {
   // Optional per-path read throttle in bytes/second (0 = unthrottled);
   // lets tests and demos emulate a slow path over loopback.
   std::vector<double> read_rate_limit_bps{};
+  // Reconnect policy.  A path is dead when its connection delivers EOF or a
+  // reset before the end-of-stream sentinel, or (with idle_timeout_ms > 0)
+  // when it stays silent that long.  Each outage grants
+  // `reconnect_max_retries` connection attempts with exponential backoff;
+  // a successful reconnect sends a resume hello naming the last frame
+  // received on the path, and resets the budget.  The default of 0 retries
+  // keeps the legacy behaviour: EOF permanently closes the path.
+  int reconnect_max_retries = 0;
+  int reconnect_backoff_ms = 50;        // first retry delay; doubles per try
+  int reconnect_backoff_cap_ms = 2000;  // backoff ceiling
+  int idle_timeout_ms = 0;              // 0 = no idle-death detection
   // Optional wall-clock observability (not owned; may be null).  Maintains
   // per-path `client.path<k>.frames` counters and a `client.delay_s`
   // histogram of generation-to-arrival delay.
@@ -46,6 +57,8 @@ struct ClientReport {
   StreamTrace trace;
   std::int64_t frames_received = 0;
   std::vector<std::uint64_t> received_per_path;
+  std::uint64_t reconnects = 0;        // successful resume handshakes
+  std::uint64_t duplicate_frames = 0;  // replayed frames already received
 
   ClientReport() : trace(1.0) {}
 };

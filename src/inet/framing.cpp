@@ -28,6 +28,19 @@ void encode_frame_header(const Frame& frame, unsigned char* buffer) {
   put_u64(buffer + 8, frame.generated_ns);
 }
 
+void encode_hello(const Hello& hello, unsigned char* buffer) {
+  put_u64(buffer, kHelloMagic);
+  put_u64(buffer + 8, hello.path_id);
+  put_u64(buffer + 16, hello.last_seq);
+}
+
+bool decode_hello(const unsigned char* buffer, Hello* out) {
+  if (get_u64(buffer) != kHelloMagic) return false;
+  out->path_id = get_u64(buffer + 8);
+  out->last_seq = get_u64(buffer + 16);
+  return true;
+}
+
 FrameParser::FrameParser(std::size_t frame_bytes) : frame_bytes_(frame_bytes) {
   if (frame_bytes < kFrameHeaderBytes) {
     throw std::invalid_argument{"frame size below header size"};

@@ -21,10 +21,41 @@ namespace dmp::inet {
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 inline constexpr std::size_t kDefaultFrameBytes = 1448;
 
+// A frame whose packet number is the sentinel marks a clean end of stream:
+// the server sends one per path before closing, so the client can tell a
+// finished stream (EOF after sentinel) from a dead connection (EOF without
+// it) and only the latter triggers reconnection.
+inline constexpr std::uint64_t kEndOfStream = ~0ull;
+
 struct Frame {
   std::uint64_t packet_number = 0;
   std::uint64_t generated_ns = 0;
 };
+
+// Connection hello, sent by the client immediately after connect():
+//
+//   [0..7]   magic (little-endian uint64; rejects stray connections)
+//   [8..15]  path id the client assigns this connection
+//   [16..23] last packet number received on that path, or kFreshHello
+//
+// A resume hello (last_seq != kFreshHello) asks the server to re-queue the
+// frames it sent on that path after `last_seq` — they may have died in the
+// kernel buffers of the broken connection.
+inline constexpr std::size_t kHelloBytes = 24;
+inline constexpr std::uint64_t kHelloMagic = 0x4F4C4C4548504D44ull;  // "DMPHELLO"
+inline constexpr std::uint64_t kFreshHello = ~0ull;
+
+struct Hello {
+  std::uint64_t path_id = 0;
+  std::uint64_t last_seq = kFreshHello;
+};
+
+// Writes the hello into `buffer` (at least kHelloBytes long).
+void encode_hello(const Hello& hello, unsigned char* buffer);
+
+// Parses a hello from `buffer` (at least kHelloBytes long).  Returns false
+// (and leaves `*out` untouched) if the magic does not match.
+bool decode_hello(const unsigned char* buffer, Hello* out);
 
 // Writes the frame header into `buffer` (at least kFrameHeaderBytes long);
 // the rest of the frame is payload padding.

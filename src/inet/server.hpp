@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "inet/framing.hpp"
@@ -32,6 +33,21 @@ struct ServerConfig {
   std::size_t frame_bytes = kDefaultFrameBytes;
   int send_buffer_bytes = 16 * 1024;
   int accept_timeout_ms = 10000;
+
+  // Optional wall-clock fault schedule (src/fault/ spec grammar).  Only
+  // `conn_reset` events are valid at this layer — the constructor rejects
+  // any other kind — and times are seconds after the stream starts.  Each
+  // event force-closes the named path's connection with a TCP RST
+  // (SO_LINGER 0); the partially-written frame is re-queued so another path
+  // carries it, and a client configured to reconnect resumes the path with
+  // a hello naming the last frame it received.  While any path is down the
+  // listener stays in the poll set, so mid-run re-accepts replace the dead
+  // connection without disturbing the healthy ones.
+  std::string faults{};
+  // Frames retained per path for resume-after-reconnect replay: on a resume
+  // hello, retained frames newer than the client's last_seq are re-queued
+  // (they may have died in the broken connection's kernel buffers).
+  std::size_t replay_frames = 4096;
 
   // Optional wall-clock observability (never owned by the server; both may
   // be null).  When `metrics` is set, the run maintains `server.generated`,
@@ -56,6 +72,8 @@ struct ServerStats {
   std::vector<std::uint64_t> sent_per_path;
   std::size_t max_queue_packets = 0;
   std::uint64_t stream_start_ns = 0;  // monotonic clock at generation start
+  std::uint64_t conn_resets = 0;      // fault events fired
+  std::uint64_t reaccepts = 0;        // mid-run reconnections served
 };
 
 class DmpInetServer {
@@ -76,21 +94,30 @@ class DmpInetServer {
  private:
   struct Connection {
     Fd fd;
+    bool open = false;
     std::vector<unsigned char> partial;  // unwritten tail of a fetched frame
     std::size_t partial_offset = 0;
+    Frame partial_frame{};  // the frame `partial` encodes (for re-queue)
     std::uint64_t sent_frames = 0;
+    std::deque<Frame> replay;       // recently sent, for resume replay
     obs::Counter* pulls = nullptr;  // set when ServerConfig::metrics is
-    std::int32_t path = -1;         // accept order = path index
+    std::int32_t path = -1;         // hello-declared path index
   };
 
   // Writes queued data into `conn` until EAGAIN or nothing left; returns
   // false if the connection failed.
   bool pump_connection(Connection& conn);
 
+  // Accepts one connection and reads its hello.  Returns the hello-declared
+  // path index, or num_paths if the hello is invalid (socket dropped).
+  std::size_t accept_path(int timeout_ms, Hello* hello, Fd* fd);
+
   ServerConfig config_;
   Fd listener_;
   std::uint16_t port_ = 0;
   std::deque<Frame> queue_;
+  // Parsed conn_reset schedule: (seconds after stream start, path index).
+  std::vector<std::pair<double, std::size_t>> resets_;
   std::atomic<bool> stop_{false};
 };
 

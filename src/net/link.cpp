@@ -5,7 +5,7 @@
 namespace dmp {
 
 Link::Link(Scheduler& sched, LinkConfig config)
-    : sched_(sched), config_(config) {
+    : sched_(sched), config_(config), base_config_(config) {
   if (config_.bandwidth_bps <= 0) {
     throw std::invalid_argument{"link bandwidth must be positive"};
   }
@@ -28,6 +28,25 @@ void Link::send(const Packet& p) {
   if (m_arrivals_) m_arrivals_->inc();
   auto& fc = per_flow_[p.flow];
   ++fc.arrivals;
+
+  // Injected faults discard on arrival.  These are not congestion drops:
+  // they bypass the per-flow/total drop counters so the measured p_k keeps
+  // meaning "drop-tail loss", and are tallied in fault_drops_ instead.
+  if (down_ || burst_remaining_ > 0) {
+    if (!down_) --burst_remaining_;
+    ++fault_drops_;
+    if (event_log_ && event_log_->enabled(obs::Severity::kWarn)) {
+      event_log_->record(sched_.now().to_seconds(), obs::Severity::kWarn,
+                         "fault_drop",
+                         {obs::EventField::num("flow", p.flow),
+                          obs::EventField::num("seq", p.seq),
+                          obs::EventField::num("down", down_ ? 1 : 0)});
+    }
+    if (flight_ && p.app_tag >= 0) {
+      record_flight(p, obs::FlightEventKind::kLinkDrop);
+    }
+    return;
+  }
 
   if (!transmitting_ && queue_.empty()) {
     if (flight_ && p.app_tag >= 0) {
@@ -79,11 +98,31 @@ void Link::on_transmit_done() {
     if (receiver_) receiver_(delivered);
   });
   transmitting_ = false;
-  if (!queue_.empty()) {
+  // A downed link freezes its queue: the packet already on the wire
+  // completes, but nothing further dequeues until set_down(false).
+  if (!down_ && !queue_.empty()) {
     const Packet next = queue_.front();
     queue_.pop_front();
     start_transmission(next);
   }
+}
+
+void Link::set_down(bool down) {
+  down_ = down;
+  if (!down_ && !transmitting_ && !queue_.empty()) {
+    const Packet next = queue_.front();
+    queue_.pop_front();
+    start_transmission(next);
+  }
+}
+
+void Link::rescale(double bw_factor, double delay_factor) {
+  if (!(bw_factor > 0.0) || !(delay_factor > 0.0)) {
+    throw std::invalid_argument{"link rescale factors must be positive"};
+  }
+  config_.bandwidth_bps = base_config_.bandwidth_bps * bw_factor;
+  config_.prop_delay = SimTime::nanos(static_cast<std::int64_t>(
+      static_cast<double>(base_config_.prop_delay.ns()) * delay_factor));
 }
 
 LinkFlowCounters Link::flow_counters(FlowId flow) const {

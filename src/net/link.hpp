@@ -55,6 +55,23 @@ class Link {
   // Busy-time integral, for utilization diagnostics.
   double utilization(SimTime elapsed) const;
 
+  // --- fault hooks (src/fault/; all inert until first used) ---
+  // While down the link drops every arrival (counted in fault_drops(), NOT
+  // in the congestion counters the measured p_k is built from), finishes
+  // the transmission already on the wire, and freezes its queue.  Raising
+  // the link resumes draining the frozen queue.
+  void set_down(bool down);
+  bool down() const { return down_; }
+  // Drops the next `count` arrivals (burst loss); cumulative across calls.
+  void drop_next(std::uint64_t count) { burst_remaining_ += count; }
+  std::uint64_t burst_remaining() const { return burst_remaining_; }
+  // Rescales bandwidth / propagation delay relative to the CONSTRUCTED
+  // configuration (factors do not compound), applying to future
+  // transmissions only.  Factors must be > 0.
+  void rescale(double bw_factor, double delay_factor);
+  // Arrivals discarded by link_down / burst_loss faults.
+  std::uint64_t fault_drops() const { return fault_drops_; }
+
   // --- observability (all optional; no-ops when never called) ---
   // Registers `<prefix>.queue_depth` (gauge, samples this link) and
   // `<prefix>.{arrivals,drops,delivered}` (counters, incremented on the
@@ -77,10 +94,15 @@ class Link {
 
   Scheduler& sched_;
   LinkConfig config_;
+  const LinkConfig base_config_;  // rescale() factors are relative to this
   PacketHandler receiver_;
   std::deque<Packet> queue_;
   bool transmitting_ = false;
   Packet in_flight_{};
+
+  bool down_ = false;
+  std::uint64_t burst_remaining_ = 0;
+  std::uint64_t fault_drops_ = 0;
 
   std::uint64_t total_arrivals_ = 0;
   std::uint64_t total_drops_ = 0;

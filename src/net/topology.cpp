@@ -60,6 +60,11 @@ void DumbbellPath::register_reverse_sink(FlowId flow, PacketHandler handler) {
   rev_demux_.register_flow(flow, std::move(handler));
 }
 
+void DumbbellPath::set_path_down(bool down) {
+  bottleneck_->set_down(down);
+  rev_bottleneck_->set_down(down);
+}
+
 double DumbbellPath::base_rtt_seconds() const {
   const double fwd_prop =
       2.0 * access_.prop_delay.to_seconds() +

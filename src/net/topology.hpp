@@ -63,6 +63,20 @@ class DumbbellPath final : public NetworkPath {
   // seconds for a data packet + returning ACK; diagnostics only.
   double base_rtt_seconds() const;
 
+  // --- fault hooks (src/fault/) ---
+  // Downs/raises the whole path: forward bottleneck AND reverse (ACK)
+  // bottleneck, so a blackhole kills data and acknowledgments alike — the
+  // sender's only signal is its retransmission timer, as with a real
+  // outage.
+  void set_path_down(bool down);
+  bool path_down() const { return bottleneck_->down(); }
+  // Burst loss / parameter rescale act on the forward bottleneck (the
+  // congested element the paper's Table-1 rows describe).
+  void drop_next(std::uint64_t count) { bottleneck_->drop_next(count); }
+  void rescale(double bw_factor, double delay_factor) {
+    bottleneck_->rescale(bw_factor, delay_factor);
+  }
+
  private:
   Scheduler& sched_;
   AccessConfig access_;

@@ -33,6 +33,7 @@ std::string_view flight_event_name(FlightEventKind kind) {
     case FlightEventKind::kSinkRx: return "sink_rx";
     case FlightEventKind::kDeliver: return "deliver";
     case FlightEventKind::kArrive: return "arrive";
+    case FlightEventKind::kPathFault: return "path_fault";
   }
   return "?";
 }

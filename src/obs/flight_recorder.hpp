@@ -47,6 +47,9 @@ enum class FlightEventKind : std::uint8_t {
   kSinkRx,       // tcp: segment reached the receiver (possibly out of order)
   kDeliver,      // tcp: released in order by the cumulative-ACK sink
   kArrive,       // stream: client recorded the packet into its trace
+  kPathFault,    // fault: injected path event (path-level, packet = -1;
+                 // seq carries the fault::FaultKind code, queue the burst
+                 // count for burst_loss)
 };
 
 std::string_view flight_event_name(FlightEventKind kind);

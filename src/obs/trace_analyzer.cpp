@@ -5,6 +5,7 @@
 #include <cmath>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +21,7 @@ std::string_view late_cause_name(LateCause cause) {
     case LateCause::kHolWait: return "hol_wait";
     case LateCause::kPathImbalance: return "path_imbalance";
     case LateCause::kNeverArrived: return "never_arrived";
+    case LateCause::kPathFault: return "path_fault";
   }
   return "?";
 }
@@ -54,6 +56,28 @@ TraceAnalyzer::TraceAnalyzer(const FlightRecorder& recorder)
   for (const FlightEvent& e : recorder.events()) {
     if (e.kind == FlightEventKind::kRto) {
       if (e.path >= 0) rto_times_[e.path].push_back(e.t_ns);
+      continue;
+    }
+    if (e.kind == FlightEventKind::kPathFault) {
+      // seq carries the fault::FaultKind code: 0 = link_down opens an
+      // outage window, 1 = link_up closes it, 2 = burst_loss is a point
+      // window.  Rescale (3) shifts capacity but loses nothing — it is
+      // not a window, so post-rescale congestion keeps its organic cause.
+      if (e.path >= 0) {
+        auto& windows = fault_windows_[e.path];
+        if (e.seq == 0) {
+          windows.emplace_back(e.t_ns,
+                               std::numeric_limits<std::int64_t>::max());
+        } else if (e.seq == 1) {
+          if (!windows.empty() &&
+              windows.back().second ==
+                  std::numeric_limits<std::int64_t>::max()) {
+            windows.back().second = e.t_ns;
+          }
+        } else if (e.seq == 2) {
+          windows.emplace_back(e.t_ns, e.t_ns);
+        }
+      }
       continue;
     }
     if (e.packet < 0) continue;
@@ -107,6 +131,7 @@ TraceAnalyzer::TraceAnalyzer(const FlightRecorder& recorder)
         arrivals_.emplace_back(e.packet, e.t_ns);
         break;
       case FlightEventKind::kRto:
+      case FlightEventKind::kPathFault:
         break;  // handled above
     }
   }
@@ -118,6 +143,26 @@ const PacketTimeline* TraceAnalyzer::timeline(std::int64_t packet) const {
 }
 
 LateCause TraceAnalyzer::classify(const PacketTimeline& tl) const {
+  // 0. Injected fault first: if the packet's flight window overlaps an
+  //    outage (or burst-loss instant) on its delivering path, the fault —
+  //    not the organic congestion mechanisms below — explains the miss.
+  //    Packets reclaimed onto a healthy path are judged against THAT
+  //    path's windows, so load shifted by DMP keeps its organic causes.
+  if (tl.path >= 0 && tl.arrive_ns >= 0 && !fault_windows_.empty()) {
+    const std::int64_t window_start =
+        tl.enqueue_ns >= 0
+            ? tl.enqueue_ns
+            : (tl.sends.empty() ? tl.arrive_ns : tl.sends.front().t_ns);
+    const auto it = fault_windows_.find(tl.path);
+    if (it != fault_windows_.end()) {
+      for (const auto& [start, end] : it->second) {
+        if (start <= tl.arrive_ns && end >= window_start) {
+          return LateCause::kPathFault;
+        }
+      }
+    }
+  }
+
   // 1. The packet itself was retransmitted: the recovery mechanism of the
   //    last retransmission is the cause (a fast retransmit that later
   //    escalated into a timeout counts as the timeout).
@@ -304,6 +349,7 @@ FlightEventKind kind_from_name(const std::string& name, bool* ok) {
   if (name == "sink_rx") return FlightEventKind::kSinkRx;
   if (name == "deliver") return FlightEventKind::kDeliver;
   if (name == "arrive") return FlightEventKind::kArrive;
+  if (name == "path_fault") return FlightEventKind::kPathFault;
   *ok = false;
   return FlightEventKind::kGenerate;
 }

@@ -21,6 +21,10 @@
 //                   transmission (server queue + send buffer): the path
 //                   pulled more of the stream than it could carry
 //   never_arrived   generated but not delivered by the end of the run
+//   path_fault      the packet's flight window overlaps an injected fault
+//                   on its delivering path (link_down..link_up outage
+//                   window or a burst_loss instant, src/fault/) — the
+//                   outage, not organic congestion, explains the miss
 //
 // Deadline evaluation replicates StreamTrace::late_fraction_playback_order
 // operation-for-operation (same SimTime integer-nanosecond arithmetic,
@@ -33,6 +37,7 @@
 #include <iosfwd>
 #include <map>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
@@ -46,8 +51,9 @@ enum class LateCause : std::uint8_t {
   kHolWait = 3,
   kPathImbalance = 4,
   kNeverArrived = 5,
+  kPathFault = 6,
 };
-inline constexpr std::size_t kNumLateCauses = 6;
+inline constexpr std::size_t kNumLateCauses = 7;
 
 std::string_view late_cause_name(LateCause cause);
 
@@ -164,6 +170,16 @@ class TraceAnalyzer {
     return rto_times_;
   }
 
+  // Injected-fault windows per path, in trace order: [start, end] ns.
+  // link_down opens a window (closed by the next link_up, or running to
+  // INT64_MAX when the path never recovers); burst_loss contributes a
+  // point window [t, t].
+  const std::map<std::int32_t,
+                 std::vector<std::pair<std::int64_t, std::int64_t>>>&
+  fault_windows() const {
+    return fault_windows_;
+  }
+
   // Dominant-cause decision for one late arrival; exposed for tests.
   LateCause classify(const PacketTimeline& tl) const;
 
@@ -176,6 +192,8 @@ class TraceAnalyzer {
   // StreamTrace entry vector so attribution iterates identically.
   std::vector<std::pair<std::int64_t, std::int64_t>> arrivals_;
   std::map<std::int32_t, std::vector<std::int64_t>> rto_times_;
+  std::map<std::int32_t, std::vector<std::pair<std::int64_t, std::int64_t>>>
+      fault_windows_;
 };
 
 // Reads a trace serialized by FlightRecorder::to_jsonl back into a

@@ -15,6 +15,7 @@ DmpStreamingServer::DmpStreamingServer(Scheduler& sched, double mu_pps,
   if (senders_.empty()) throw std::invalid_argument{"DMP needs >= 1 sender"};
   if (mu_pps <= 0) throw std::invalid_argument{"mu must be positive"};
   pulls_.assign(senders_.size(), 0);
+  down_.assign(senders_.size(), false);
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
@@ -57,6 +58,10 @@ void DmpStreamingServer::generate() {
 }
 
 void DmpStreamingServer::pull_into(std::size_t k) {
+  // A failed path must not soak up fresh packets: its sender would sit on
+  // them behind a dead link.  (The flag is only ever set by the fault
+  // injector; fault-free runs never take this branch.)
+  if (down_[k]) return;
   // The sender fetches from the head of the server queue until it blocks
   // (buffer full) or the queue empties — exactly the Fig. 2 loop.  The
   // fetch is recorded before enqueue() so trace lines stay in lifecycle
@@ -84,6 +89,31 @@ void DmpStreamingServer::pull_into(std::size_t k) {
     }
     senders_[k]->enqueue(number);
   }
+}
+
+void DmpStreamingServer::on_path_down(std::size_t k) {
+  down_[k] = true;
+  // Segments the dead sender accepted but never transmitted go back to the
+  // head of the shared queue (they are older than anything queued there),
+  // in their original order.  Segments already on the wire stay with TCP —
+  // recovery is organic once the link returns.
+  const auto tags = senders_[k]->reclaim_unsent();
+  reclaimed_ += tags.size();
+  queue_.insert(queue_.begin(), tags.begin(), tags.end());
+  max_queue_ = std::max(max_queue_, queue_.size());
+  if (event_log_ && event_log_->enabled(obs::Severity::kInfo)) {
+    event_log_->record(sched_.now().to_seconds(), obs::Severity::kInfo,
+                       "reclaim",
+                       {obs::EventField::num("path", k),
+                        obs::EventField::num("packets", tags.size()),
+                        obs::EventField::num("queue", queue_.size())});
+  }
+  offer_all();
+}
+
+void DmpStreamingServer::on_path_up(std::size_t k) {
+  down_[k] = false;
+  pull_into(k);
 }
 
 void DmpStreamingServer::offer_all() {

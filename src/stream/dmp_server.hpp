@@ -57,6 +57,18 @@ class DmpStreamingServer : public StreamServer {
     flight_ = recorder;
   }
 
+  // Path failure: reclaim the dead sender's never-transmitted segments into
+  // the FRONT of the shared queue (they are the oldest outstanding packets)
+  // and re-offer the backlog to the surviving senders.  While a path is
+  // down its sender is skipped by pull_into/offer_all, so the shared-queue
+  // discipline routes the whole stream over the survivors — the paper's
+  // implicit load shifting, exercised under failure.
+  void on_path_down(std::size_t k) override;
+  void on_path_up(std::size_t k) override;
+  bool path_down(std::size_t k) const { return down_[k]; }
+  // Packets reclaimed from dead senders over the run (diagnostic).
+  std::uint64_t reclaimed() const { return reclaimed_; }
+
   // One shared backlog gauge.
   std::vector<std::string> probe_columns(
       const std::string& prefix, std::size_t /*num_flows*/) const override {
@@ -79,6 +91,8 @@ class DmpStreamingServer : public StreamServer {
   std::size_t rotate_ = 0;  // fairness when several senders have space
   std::size_t max_queue_ = 0;
   std::vector<std::uint64_t> pulls_;
+  std::vector<bool> down_;  // paths currently failed (fault injector)
+  std::uint64_t reclaimed_ = 0;
 
   obs::Counter* m_generated_ = nullptr;
   std::vector<obs::Counter*> m_pulls_;

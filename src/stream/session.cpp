@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "fault/fault_injector.hpp"
 #include "net/topology.hpp"
 #include "obs/probe.hpp"
 #include "obs/run_report.hpp"
@@ -160,6 +161,45 @@ SessionResult run_session(const SessionConfig& config) {
   }
   if (flight) server->set_flight_recorder(flight.get());
 
+  // --- fault injector (only when a plan is given: an empty spec builds
+  // nothing and schedules nothing, keeping fault-free runs byte-identical
+  // to a build without this block) ---
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        sched, fault::FaultPlan::parse(config.faults), epoch);
+    StreamServer* srv = server.get();
+    const std::size_t flows = config.num_flows;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      DumbbellPath* path = paths[i].get();
+      fault::PathFaultTarget target;
+      // Down the links first, then notify the server: reclaimed packets
+      // re-offered to surviving senders must not leak onto the dead path.
+      // Correlated sessions have one path carrying every flow, so its
+      // outage stalls (and its recovery wakes) all of them.
+      target.set_down = [path, srv, i, flows,
+                         correlated = config.correlated](bool down) {
+        path->set_path_down(down);
+        if (correlated) {
+          for (std::size_t f = 0; f < flows; ++f) {
+            if (down) srv->on_path_down(f); else srv->on_path_up(f);
+          }
+        } else {
+          if (down) srv->on_path_down(i); else srv->on_path_up(i);
+        }
+      };
+      target.burst_loss = [path](std::uint64_t n) { path->drop_next(n); };
+      target.rescale = [path](double bw, double delay) {
+        path->rescale(bw, delay);
+      };
+      injector->add_path("path" + std::to_string(i),
+                         static_cast<std::int32_t>(i), std::move(target));
+    }
+    injector->set_event_log(events.get());
+    injector->set_flight_recorder(flight.get());
+    injector->arm();
+  }
+
   const SimTime horizon =
       epoch + duration + SimTime::seconds(config.drain_s);
 
@@ -191,6 +231,7 @@ SessionResult run_session(const SessionConfig& config) {
 
   result.events_executed = sched.run_until(horizon);
   if (probe) probe->stop();
+  if (injector) result.fault_events_fired = injector->events_fired();
 
   // --- per-path measurements (Table 2 / Table 3 rows) ---
   result.packets_generated = server->packets_generated();
@@ -252,6 +293,8 @@ SessionResult run_session(const SessionConfig& config) {
                       static_cast<std::int64_t>(sched.max_events_pending()));
     report.set_scalar("events_overwritten",
                       static_cast<std::int64_t>(events->overwritten()));
+    report.set_scalar("fault_events_fired",
+                      static_cast<std::int64_t>(result.fault_events_fired));
     // Artifact-write health: non-zero status means at least one artifact
     // (trace, probe CSV, event log) failed to reach disk before this report.
     report.set_scalar("io_errors",

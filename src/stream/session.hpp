@@ -51,6 +51,15 @@ struct SessionConfig {
   std::uint64_t seed = 1;
   TcpConfig video_tcp = default_video_tcp();
   std::vector<double> static_weights{};  // empty = even split
+  // Fault schedule (src/fault/ spec grammar, e.g.
+  // "20 link_down path1; 25 link_up path1"), times relative to the video
+  // epoch.  Targets name paths ("path<k>"); link faults hit path k's
+  // dumbbell (forward + reverse bottleneck for outages) and notify the
+  // streaming server so DMP reclaims the dead sender's unsent share.  In
+  // correlated sessions the single path is "path0" and an outage notifies
+  // every flow.  Empty (the default) constructs no injector and schedules
+  // nothing: byte-identical to a build without the fault layer.
+  std::string faults{};
   // Observability: when `obs.enabled`, the run attaches a metrics registry
   // and event log to every layer (links, TCP agents, server, scheduler,
   // client), samples gauges into `<prefix>_probe.csv` every
@@ -74,6 +83,8 @@ struct SessionResult {
   std::vector<PathMeasurement> paths;
   std::int64_t packets_generated = 0;
   std::uint64_t events_executed = 0;
+  // Fault events replayed from `config.faults` (0 for fault-free runs).
+  std::uint64_t fault_events_fired = 0;
 
   // Populated only when the session ran with `obs.enabled`.  Gauges are
   // frozen to their end-of-run values (the instrumented objects are gone).

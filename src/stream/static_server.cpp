@@ -28,6 +28,7 @@ StaticStreamingServer::StaticStreamingServer(Scheduler& sched, double mu_pps,
   }
   assigned_.assign(senders_.size(), 0);
   pulls_.assign(senders_.size(), 0);
+  down_.assign(senders_.size(), false);
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }

@@ -48,6 +48,17 @@ class StaticStreamingServer : public StreamServer {
     flight_ = recorder;
   }
 
+  // Path failure (fault injector): static streaming has NO graceful
+  // degradation — that is the point of the baseline.  The packet-to-path
+  // assignment is fixed in advance, so a failed path's share keeps being
+  // generated into its private queue and stalls head-of-line there (the
+  // sender's buffer fills behind the dead link and pulls stop naturally).
+  // The overrides only latch the state for introspection; reassigning the
+  // stalled share would turn the baseline into DMP.
+  void on_path_down(std::size_t k) override { down_[k] = true; }
+  void on_path_up(std::size_t k) override { down_[k] = false; }
+  bool path_down(std::size_t k) const { return down_[k]; }
+
   // One private backlog gauge per path.
   std::vector<std::string> probe_columns(
       const std::string& prefix, std::size_t num_flows) const override {
@@ -74,6 +85,7 @@ class StaticStreamingServer : public StreamServer {
   std::vector<std::deque<std::int64_t>> queues_;
   std::int64_t next_number_ = 0;
   std::vector<std::uint64_t> pulls_;
+  std::vector<bool> down_;  // latched fault state (introspection only)
 
   obs::Counter* m_generated_ = nullptr;
   std::vector<obs::Counter*> m_pulls_;

@@ -12,6 +12,7 @@ StoredStreamingServer::StoredStreamingServer(Scheduler& sched,
   if (senders_.empty()) throw std::invalid_argument{"need >= 1 sender"};
   if (total_ <= 0) throw std::invalid_argument{"video must be non-empty"};
   pulls_.assign(senders_.size(), 0);
+  down_.assign(senders_.size(), false);
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
@@ -30,15 +31,27 @@ void StoredStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
         &registry.counter(prefix + ".pulls.path" + std::to_string(k)));
   }
   registry.gauge(prefix + ".remaining").set_sampler([this] {
-    return static_cast<double>(total_ - next_number_);
+    return static_cast<double>(total_ - next_number_) +
+           static_cast<double>(redispatch_.size());
   });
 }
 
 void StoredStreamingServer::pull_into(std::size_t k) {
+  // Skipped while the path is down (fault injector); fault-free runs never
+  // set the flag.
+  if (down_[k]) return;
   // Fetch recorded before enqueue() so trace lines stay in lifecycle order
-  // (enqueue itself emits the tcp/link events).
-  while (next_number_ < total_ && senders_[k]->space() > 0) {
-    const std::int64_t number = next_number_++;
+  // (enqueue itself emits the tcp/link events).  Reclaimed numbers (from a
+  // failed path) are older than next_number_ and are served first.
+  while ((!redispatch_.empty() || next_number_ < total_) &&
+         senders_[k]->space() > 0) {
+    std::int64_t number;
+    if (!redispatch_.empty()) {
+      number = redispatch_.front();
+      redispatch_.pop_front();
+    } else {
+      number = next_number_++;
+    }
     ++pulls_[k];
     if (!m_pulls_.empty()) {
       m_pulls_[k]->inc();
@@ -50,11 +63,25 @@ void StoredStreamingServer::pull_into(std::size_t k) {
       e.kind = obs::FlightEventKind::kPull;
       e.packet = number;
       e.path = static_cast<std::int32_t>(k);
-      e.queue = total_ - next_number_;
+      e.queue = total_ - next_number_ +
+                static_cast<std::int64_t>(redispatch_.size());
       flight_->record(e);
     }
     senders_[k]->enqueue(number);
   }
+}
+
+void StoredStreamingServer::on_path_down(std::size_t k) {
+  down_[k] = true;
+  const auto tags = senders_[k]->reclaim_unsent();
+  reclaimed_ += tags.size();
+  redispatch_.insert(redispatch_.begin(), tags.begin(), tags.end());
+  for (std::size_t i = 0; i < senders_.size(); ++i) pull_into(i);
+}
+
+void StoredStreamingServer::on_path_up(std::size_t k) {
+  down_[k] = false;
+  pull_into(k);
 }
 
 }  // namespace dmp

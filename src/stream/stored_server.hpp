@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,14 @@ class StoredStreamingServer : public StreamServer {
     flight_ = recorder;
   }
 
+  // Path failure: the dead sender's never-transmitted packet numbers move
+  // to a redispatch queue served (in order, before fresh numbers) by the
+  // surviving senders; the path is skipped until it comes back.
+  void on_path_down(std::size_t k) override;
+  void on_path_up(std::size_t k) override;
+  bool path_down(std::size_t k) const { return down_[k]; }
+  std::uint64_t reclaimed() const { return reclaimed_; }
+
   // Remaining-packets gauge (there is no generation-side backlog).
   std::vector<std::string> probe_columns(
       const std::string& prefix, std::size_t /*num_flows*/) const override {
@@ -69,6 +78,9 @@ class StoredStreamingServer : public StreamServer {
   std::int64_t total_;
   std::int64_t next_number_ = 0;
   std::vector<std::uint64_t> pulls_;
+  std::vector<bool> down_;                 // fault-injector path state
+  std::deque<std::int64_t> redispatch_;    // reclaimed numbers, oldest first
+  std::uint64_t reclaimed_ = 0;
 
   std::vector<obs::Counter*> m_pulls_;
   obs::Counter* m_dispatched_ = nullptr;

@@ -45,6 +45,17 @@ class StreamServer {
   virtual void set_event_log(obs::EventLog*) {}
   virtual void set_flight_recorder(obs::FlightRecorder*) {}
 
+  // Path-fault notifications from the fault injector (src/fault/): path k's
+  // link just went down / came back up.  Base-class no-ops; schemes decide
+  // their degradation story.  DMP and stored reclaim the dead sender's
+  // never-transmitted share into the shared backlog (graceful degradation:
+  // surviving paths carry it); static streaming deliberately does nothing —
+  // its fixed packet-to-path assignment means the dead path's share stalls
+  // head-of-line until the link returns, which is exactly the fragility the
+  // paper's Section-7 comparison punishes.
+  virtual void on_path_down(std::size_t /*k*/) {}
+  virtual void on_path_up(std::size_t /*k*/) {}
+
   // Gauge names (under `prefix`) a time-series probe should sample for this
   // scheme — the scheme knows whether its backlog is one shared queue,
   // per-path queues, or a remaining-packets count.

@@ -300,6 +300,21 @@ void RenoSender::attach_metrics(obs::MetricsRegistry& registry,
   });
 }
 
+std::vector<std::int64_t> RenoSender::reclaim_unsent() {
+  // Never-transmitted segments are exactly those past max(snd_max_,
+  // snd_nxt_): snd_max_ is the highest sequence ever emitted (+1) and
+  // snd_nxt_ can only exceed it transiently inside try_send.  Popping from
+  // the back cannot disturb snd_una_-relative indexing of the rest.
+  std::vector<std::int64_t> tags;
+  const std::int64_t sent_end = std::max(snd_max_, snd_nxt_);
+  while (enq_end() > sent_end) {
+    tags.push_back(segments_.back().app_tag);
+    segments_.pop_back();
+  }
+  std::reverse(tags.begin(), tags.end());
+  return tags;
+}
+
 void RenoSender::idle_restart() {
   cwnd_ = std::min(cwnd_, config_.initial_cwnd);
   dupacks_ = 0;

@@ -10,6 +10,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "obs/event_log.hpp"
@@ -57,6 +58,17 @@ class RenoSender {
   // Reset cwnd after an application idle period (slow-start restart); used
   // by the HTTP background source between transfers.
   void idle_restart();
+
+  // Removes every segment that has never been transmitted from the back of
+  // the send buffer and returns their app tags in enqueue order.  Segments
+  // that are in flight (or were ever sent) stay — their recovery is TCP's
+  // job.  Used by the DMP server when a path fails: the dead sender's
+  // unsent share goes back to the shared queue so surviving paths carry it.
+  std::vector<std::int64_t> reclaim_unsent();
+
+  // Current Karn backoff multiplier (1 = no backoff; doubles per
+  // consecutive timeout up to 64).  Exposed for failover diagnostics.
+  std::uint32_t rto_backoff() const { return backoff_; }
 
   // --- observability (all optional; no-ops when never called) ---
   // Registers `<prefix>.{cwnd,ssthresh,srtt_s,rto_s,buffered}` sampler

@@ -22,8 +22,8 @@ class OptionsTest : public ::testing::Test {
          {"DMP_RUNS", "DMP_DURATION_S", "DMP_SEED", "DMP_MC_MIN",
           "DMP_MC_MAX", "DMP_THREADS", "DMP_OBS", "DMP_OBS_PROBE_S",
           "DMP_TRACE", "DMP_OUT_DIR", "DMP_FIG7_DURATION_S",
-          "DMP_TABLE1_PROBE_S", "DMP_SANITIZE", "DMP_CHECK_BUILD_DIR",
-          "DMP_TYPO", "DMP_RUN"}) {
+          "DMP_TABLE1_PROBE_S", "DMP_FAULTS", "DMP_SANITIZE",
+          "DMP_CHECK_BUILD_DIR", "DMP_TYPO", "DMP_RUN"}) {
       unsetenv(name);
     }
   }
@@ -59,6 +59,22 @@ TEST_F(OptionsTest, ParsesAllKnobs) {
   EXPECT_EQ(options.threads, 4u);
   EXPECT_TRUE(options.obs);
   EXPECT_TRUE(options.trace);
+}
+
+TEST_F(OptionsTest, ParsesAndValidatesFaultPlan) {
+  setenv("DMP_FAULTS", "20 link_down path1; 25 link_up path1", 1);
+  const auto options = BenchOptions::from_env();
+  EXPECT_EQ(options.faults, "20 link_down path1; 25 link_up path1");
+}
+
+TEST_F(OptionsTest, RejectsMalformedFaultPlan) {
+  setenv("DMP_FAULTS", "20 link_dwn path1", 1);
+  try {
+    BenchOptions::from_env();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("DMP_FAULTS"), std::string::npos);
+  }
 }
 
 TEST_F(OptionsTest, RejectsUnknownDmpVariable) {

@@ -1,0 +1,128 @@
+// Golden-seed regression pins for the figure pipelines.  Each test runs a
+// scaled-down version of a bench computation (1 replication, small budget,
+// fixed seed) and compares a canonical %.17g summary string against a
+// golden recorded from the current implementation.  Any change to the
+// simulator core, the WAN emulator, the Monte-Carlo model, or the seed
+// derivation shows up here as a byte diff — if a change is intentional,
+// re-record the golden and say why in the commit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "emul/experiment.hpp"
+#include "exp/plan.hpp"
+#include "model/composed_chain.hpp"
+#include "model/required_delay.hpp"
+#include "stream/session.hpp"
+
+namespace dmp {
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// --- fig9 (required startup delay) at 1/8 of the bench's MC budget ---
+
+TEST(GoldenFigures, RequiredDelayPipeline) {
+  // One panel-(a) style point: homogeneous pair, p = 0.04, TO = 4,
+  // mu = 50 pkts/s, RTT = 100 ms.  Same seed-stream derivation as the
+  // bench (domain kModelMc, index 0 of DMP_SEED=1).
+  ComposedParams params;
+  TcpChainParams chain;
+  chain.loss_rate = 0.04;
+  chain.rtt_s = 0.1;
+  chain.to_ratio = 4.0;
+  chain.wmax = 20;
+  chain.ack_every = 1;
+  params.flows = {chain, chain};
+  params.mu_pps = 50.0;
+
+  RequiredDelayOptions options;
+  options.min_consumptions = 50'000;
+  options.max_consumptions = 100'000;
+  options.tau_max_s = 60.0;
+  options.seed = exp::mc_stream(1).at(0);
+
+  const auto result = required_startup_delay(params, options);
+  const std::string summary = "tau=" + num(result.tau_s) +
+                              " feasible=" + (result.feasible ? "1" : "0") +
+                              " late=" + num(result.late_at_tau);
+  EXPECT_EQ(summary, "tau=6 feasible=1 late=0");
+}
+
+// --- fig7 (emulated Internet experiment + model) at 1/25 duration ---
+
+TEST(GoldenFigures, InternetExperimentPipeline) {
+  emul::InternetExperimentConfig config;
+  config.paths = {emul::adsl_slow_profile(), emul::adsl_slow_profile()};
+  config.mu_pps = 25.0;
+  config.duration_s = 120.0;
+  config.drain_s = 30.0;
+  config.seed = SeedStream(1, exp::seed_domain::stream(
+                                  exp::seed_domain::kEmul, 0))
+                    .at(0);
+
+  const auto result = emul::run_internet_experiment(config);
+  ASSERT_EQ(result.paths.size(), 2u);
+  const double fp2 = result.trace.late_fraction_playback_order(
+      2.0, result.packets_generated);
+  const double fa2 = result.trace.late_fraction_arrival_order(
+      2.0, result.packets_generated);
+
+  // Model late fraction from the run's own measured parameters, like the
+  // bench (video-stream estimates are unbiased under Bernoulli WAN loss).
+  ComposedParams model;
+  model.mu_pps = config.mu_pps;
+  model.tau_s = 2.0;
+  for (const auto& m : result.paths) {
+    TcpChainParams flow;
+    flow.loss_rate = std::max(m.loss_rate, 1e-5);
+    flow.rtt_s = m.rtt_s;
+    flow.to_ratio = std::max(m.to_ratio, 1.0);
+    flow.wmax = 20;
+    model.flows.push_back(flow);
+  }
+  DmpModelMonteCarlo mc(model, exp::mc_stream(1, 0).at(0));
+  const auto mr = mc.run(100'000, 10'000);
+
+  const std::string summary =
+      "gen=" + std::to_string(result.packets_generated) + " fp2=" + num(fp2) +
+      " fa2=" + num(fa2) + " p1=" + num(result.paths[0].loss_rate) +
+      " p2=" + num(result.paths[1].loss_rate) +
+      " r1=" + num(result.paths[0].rtt_s) +
+      " r2=" + num(result.paths[1].rtt_s) + " fm2=" + num(mr.late_fraction);
+  EXPECT_EQ(summary, "gen=3000 fp2=0.037999999999999999 fa2=0.021333333333333333 p1=0.028104575163398694 p2=0.020473448496481125 r1=0.3458204606123782 r2=0.33928715546874982 fm2=0.038879999999999998");
+}
+
+// --- simulator session summary (the quantity every figure consumes) ---
+
+TEST(GoldenFigures, SimSessionSummary) {
+  SessionConfig config;
+  config.path_configs = {table1_config(2), table1_config(2)};
+  config.num_flows = 2;
+  config.mu_pps = 50.0;
+  config.duration_s = 30.0;
+  config.warmup_s = 5.0;
+  config.drain_s = 15.0;
+  config.seed = exp::replication_seed(1, 0, 0);
+
+  const auto result = run_session(config);
+  ASSERT_EQ(result.paths.size(), 2u);
+  const std::string summary =
+      "gen=" + std::to_string(result.packets_generated) +
+      " delivered=" + std::to_string(result.trace.entries().size()) +
+      " f4=" + num(result.trace.late_fraction_playback_order(
+                   4.0, result.packets_generated)) +
+      " p1=" + num(result.paths[0].loss_rate) +
+      " p2=" + num(result.paths[1].loss_rate) +
+      " share1=" + num(result.paths[0].share);
+  EXPECT_EQ(summary, "gen=1500 delivered=1500 f4=0 p1=0.02732919254658385 p2=0.038770053475935831 share1=0.52200000000000002");
+}
+
+}  // namespace
+}  // namespace dmp

@@ -1,0 +1,171 @@
+// Property/fuzz coverage for the wire format: random truncations,
+// corrupted prefixes, and adversarial read() chunkings must never crash
+// the parser, over-read a buffer (the vectors are exactly sized, so ASan
+// would flag any overrun), or desynchronize frame boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "inet/framing.hpp"
+#include "util/rng.hpp"
+
+namespace dmp::inet {
+namespace {
+
+std::vector<unsigned char> wire_of(std::uint64_t frames,
+                                   std::size_t frame_bytes) {
+  std::vector<unsigned char> wire;
+  wire.reserve(frames * frame_bytes);
+  for (std::uint64_t n = 0; n < frames; ++n) {
+    std::vector<unsigned char> frame(frame_bytes, 0x5A);
+    encode_frame_header(Frame{n, n * 13 + 7}, frame.data());
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  return wire;
+}
+
+TEST(HelloFuzz, EncodeDecodeRoundTrips) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    Hello hello;
+    hello.path_id = rng.next_u64();
+    hello.last_seq = rng.next_u64();
+    std::vector<unsigned char> buffer(kHelloBytes);
+    encode_hello(hello, buffer.data());
+    Hello decoded;
+    ASSERT_TRUE(decode_hello(buffer.data(), &decoded));
+    EXPECT_EQ(decoded.path_id, hello.path_id);
+    EXPECT_EQ(decoded.last_seq, hello.last_seq);
+  }
+}
+
+TEST(HelloFuzz, CorruptedMagicIsRejectedAndOutputUntouched) {
+  std::vector<unsigned char> buffer(kHelloBytes);
+  encode_hello(Hello{3, 42}, buffer.data());
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    auto corrupt = buffer;
+    corrupt[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    Hello out;
+    out.path_id = 777;
+    out.last_seq = 888;
+    EXPECT_FALSE(decode_hello(corrupt.data(), &out));
+    EXPECT_EQ(out.path_id, 777u);
+    EXPECT_EQ(out.last_seq, 888u);
+  }
+  // Bits outside the magic do not affect acceptance.
+  auto tweaked = buffer;
+  tweaked[8] ^= 0xFF;
+  tweaked[23] ^= 0xFF;
+  Hello out;
+  EXPECT_TRUE(decode_hello(tweaked.data(), &out));
+}
+
+TEST(HelloFuzz, RandomPrefixesAlmostNeverDecode) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<unsigned char> buffer(kHelloBytes);
+    for (auto& b : buffer) {
+      b = static_cast<unsigned char>(rng.uniform_int(256));
+    }
+    Hello out;
+    EXPECT_FALSE(decode_hello(buffer.data(), &out));
+  }
+}
+
+TEST(FramingFuzz, TruncatedStreamsNeverCrashAndKeepTheRemainder) {
+  Rng rng(21);
+  const std::size_t frame_bytes = 64;
+  const auto wire = wire_of(40, frame_bytes);
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t cut = rng.uniform_int(wire.size() + 1);
+    // Exact-size copy: any read past `cut` is a heap-buffer-overflow.
+    std::vector<unsigned char> truncated(wire.begin(),
+                                         wire.begin() + static_cast<long>(cut));
+    FrameParser parser(frame_bytes);
+    std::vector<Frame> out;
+    parser.feed(truncated.data(), truncated.size(),
+                [&](const Frame& f) { out.push_back(f); });
+    EXPECT_EQ(out.size(), cut / frame_bytes);
+    EXPECT_EQ(parser.pending_bytes(), cut % frame_bytes);
+    for (std::size_t n = 0; n < out.size(); ++n) {
+      EXPECT_EQ(out[n].packet_number, n);
+    }
+  }
+}
+
+TEST(FramingFuzz, ByteDribbleRoundTripsEveryFrame) {
+  const std::size_t frame_bytes = 48;
+  const std::uint64_t frames = 200;
+  const auto wire = wire_of(frames, frame_bytes);
+  FrameParser parser(frame_bytes);
+  std::vector<Frame> out;
+  for (const unsigned char byte : wire) {
+    // One byte per feed, from a one-byte buffer: the worst-case read()
+    // pattern, and an over-read trap at every step.
+    const std::vector<unsigned char> chunk{byte};
+    parser.feed(chunk.data(), 1, [&](const Frame& f) { out.push_back(f); });
+  }
+  ASSERT_EQ(out.size(), frames);
+  for (std::uint64_t n = 0; n < frames; ++n) {
+    EXPECT_EQ(out[n].packet_number, n);
+    EXPECT_EQ(out[n].generated_ns, n * 13 + 7);
+  }
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(FramingFuzz, RandomChunksOfRandomGarbageKeepInvariants) {
+  Rng rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t frame_bytes = 16 + rng.uniform_int(100);
+    FrameParser parser(frame_bytes);
+    std::size_t fed = 0;
+    std::size_t frames_out = 0;
+    for (int step = 0; step < 100; ++step) {
+      std::vector<unsigned char> chunk(1 + rng.uniform_int(2 * frame_bytes));
+      for (auto& b : chunk) {
+        b = static_cast<unsigned char>(rng.uniform_int(256));
+      }
+      parser.feed(chunk.data(), chunk.size(),
+                  [&](const Frame&) { ++frames_out; });
+      fed += chunk.size();
+      // The parser never buffers a full frame and never loses bytes.
+      EXPECT_LT(parser.pending_bytes(), frame_bytes);
+      EXPECT_EQ(frames_out, fed / frame_bytes);
+      EXPECT_EQ(parser.pending_bytes(), fed % frame_bytes);
+    }
+  }
+}
+
+TEST(FramingFuzz, CorruptedPayloadBytesDoNotDesyncFrameBoundaries) {
+  Rng rng(55);
+  const std::size_t frame_bytes = 96;
+  auto wire = wire_of(100, frame_bytes);
+  // Corrupt payload bytes only (offsets >= the 16-byte header): framing is
+  // positional, so every packet number must still come out intact.
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t frame = rng.uniform_int(100);
+    const std::size_t offset =
+        kFrameHeaderBytes + rng.uniform_int(frame_bytes - kFrameHeaderBytes);
+    wire[frame * frame_bytes + offset] =
+        static_cast<unsigned char>(rng.uniform_int(256));
+  }
+  FrameParser parser(frame_bytes);
+  std::vector<Frame> out;
+  std::size_t offset = 0;
+  while (offset < wire.size()) {
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.uniform_int(301), wire.size() - offset);
+    parser.feed(wire.data() + offset, len,
+                [&](const Frame& f) { out.push_back(f); });
+    offset += len;
+  }
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    EXPECT_EQ(out[n].packet_number, n);
+  }
+}
+
+}  // namespace
+}  // namespace dmp::inet

@@ -114,6 +114,49 @@ TEST(FlightRecorder, AnalyzerReconcilesExactlyWithStreamTrace) {
   }
 }
 
+TEST(FlightRecorder, FaultedSessionReconcilesAndAttributesPathFault) {
+  // A 5 s blackhole of path0 mid-stream: the kPathFault events the
+  // injector records must (a) show up as the path_fault cause for packets
+  // whose flight window overlaps the outage, and (b) leave the analyzer's
+  // late fraction EXACTLY equal to the trace metric at every tau — fault
+  // attribution is a relabeling of causes, never a change in the count.
+  SessionConfig config = flight_session("faulted");
+  config.faults = "20 link_down path0; 25 link_up path0";
+  const auto result = run_session(config);
+  ASSERT_NE(result.flight, nullptr);
+  EXPECT_EQ(result.fault_events_fired, 2u);
+
+  // The fault events themselves are in the trace.
+  std::size_t fault_events = 0;
+  for (const auto& e : result.flight->events()) {
+    if (e.kind == obs::FlightEventKind::kPathFault) {
+      ++fault_events;
+      EXPECT_EQ(e.path, 0);
+    }
+  }
+  EXPECT_EQ(fault_events, 2u);
+
+  const obs::TraceAnalyzer analyzer(*result.flight);
+  bool saw_path_fault = false;
+  for (const double tau : {0.05, 0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const auto report = analyzer.attribute(tau);
+    ASSERT_EQ(report.total_packets, result.packets_generated);
+    EXPECT_EQ(report.late_fraction(),
+              result.trace.late_fraction_playback_order(
+                  tau, result.packets_generated))
+        << "tau=" << tau;
+    const std::int64_t attributed = std::accumulate(
+        report.by_cause.begin(), report.by_cause.end(), std::int64_t{0});
+    EXPECT_EQ(attributed, report.late) << "tau=" << tau;
+    saw_path_fault |=
+        report.by_cause[static_cast<std::size_t>(
+            obs::LateCause::kPathFault)] > 0;
+  }
+  // A 5 s outage against mu = 50 pkts/s makes *some* deadline miss
+  // attributable to the fault at the tighter taus.
+  EXPECT_TRUE(saw_path_fault);
+}
+
 TEST(FlightRecorder, JsonlRoundTripsLosslessly) {
   obs::FlightRecorder recorder;
   recorder.set_meta(50.0, 123456789, 3);
