@@ -2,6 +2,8 @@
 // p = 0.02, TO = 4, mu = 25 pkts/s; sigma_a/mu in {1.2..2.0} set by varying
 // the RTT; fraction of late packets vs startup delay 2..30 s.  One runner
 // work item per ratio (15 Monte-Carlo runs each).
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -31,8 +33,13 @@ int main() {
     double rtt;
     std::vector<double> f;  // one per tau
   };
+  // With DMP_MODEL_SHARDS the parallelism moves inside each estimate (the
+  // sharded engine runs its shards on DMP_THREADS workers), so the outer
+  // sweep goes serial instead of oversubscribing.
+  const std::size_t outer_threads =
+      options.model_shards > 0 ? 1 : options.threads;
   const auto columns =
-      exp::ExperimentRunner(options.threads).map(ratios.size(), [&](std::size_t r) {
+      exp::ExperimentRunner(outer_threads).map(ratios.size(), [&](std::size_t r) {
         Column column;
         column.rtt = bench::rtt_for_ratio(p, to, mu, ratios[r]);
         const auto mc_seeds = exp::mc_stream(options.seed, r);
@@ -40,9 +47,21 @@ int main() {
           ComposedParams params =
               bench::homogeneous_setup(p, column.rtt, to, mu);
           params.tau_s = taus[t];
-          DmpModelMonteCarlo mc(params, mc_seeds.at(t));
-          column.f.push_back(
-              mc.run(options.mc_max, options.mc_max / 10).late_fraction);
+          if (options.model_shards > 0) {
+            const DmpModelMonteCarlo mc(params, mc_seeds.at(t),
+                                        SamplerMode::kAlias);
+            const std::uint64_t per_shard = std::max<std::uint64_t>(
+                1, options.mc_max / options.model_shards);
+            column.f.push_back(
+                mc.run_sharded(options.model_shards, per_shard,
+                               DmpModelMonteCarlo::kAutoWarmup,
+                               options.threads)
+                    .late_fraction);
+          } else {
+            DmpModelMonteCarlo mc(params, mc_seeds.at(t));
+            column.f.push_back(
+                mc.run(options.mc_max, options.mc_max / 10).late_fraction);
+          }
         }
         return column;
       });

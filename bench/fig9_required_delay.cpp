@@ -51,8 +51,13 @@ int main() {
     RequiredDelayResult result{};
   };
   const auto mc_seeds = exp::mc_stream(options.seed);
+  // With DMP_MODEL_SHARDS the parallelism moves inside each probe (the
+  // sharded estimator runs its shards on DMP_THREADS workers), so the
+  // outer sweep goes serial instead of oversubscribing.
+  const std::size_t outer_threads =
+      options.model_shards > 0 ? 1 : options.threads;
   const auto rows =
-      exp::ExperimentRunner(options.threads).map(points.size(), [&](std::size_t i) {
+      exp::ExperimentRunner(outer_threads).map(points.size(), [&](std::size_t i) {
         const auto& point = points[i];
         Row row;
         if (point.panel == 'a' && point.rtt_s > 0.6) {
@@ -66,6 +71,8 @@ int main() {
         delay_options.max_consumptions = options.mc_max;
         delay_options.tau_max_s = point.tau_max_s;
         delay_options.seed = mc_seeds.at(i);
+        delay_options.shards = options.model_shards;
+        delay_options.threads = options.threads;
         row.result = required_startup_delay(params, delay_options);
         return row;
       });

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/background.hpp"
+#include "model/chain_cache.hpp"
 #include "model/composed_chain.hpp"
 #include "sim/scheduler.hpp"
 #include "stream/session.hpp"
@@ -12,6 +13,19 @@
 namespace {
 
 using namespace dmp;
+
+ComposedParams composed_setup(int kflows) {
+  TcpChainParams flow;
+  flow.loss_rate = 0.02;
+  flow.rtt_s = 0.2;
+  flow.to_ratio = 2.0;
+  flow.wmax = 20;
+  ComposedParams params;
+  params.flows.assign(static_cast<std::size_t>(kflows), flow);
+  params.mu_pps = 20.0 * kflows;  // keep sigma_a/mu comparable across K
+  params.tau_s = 10.0;
+  return params;
+}
 
 void BM_SchedulerEventChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -61,16 +75,24 @@ void BM_TcpChainBuildAndSolve(benchmark::State& state) {
 BENCHMARK(BM_TcpChainBuildAndSolve)->Arg(12)->Arg(20)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+// The alias fast path at K = 1..4 flows (K = 2 is the CI-guarded point).
+// Items are counted consumptions, as before the fast path existed.
 void BM_ComposedMonteCarlo(benchmark::State& state) {
-  TcpChainParams flow;
-  flow.loss_rate = 0.02;
-  flow.rtt_s = 0.2;
-  flow.to_ratio = 2.0;
-  flow.wmax = 20;
-  ComposedParams params;
-  params.flows = {flow, flow};
-  params.mu_pps = 40.0;
-  params.tau_s = 10.0;
+  const ComposedParams params = composed_setup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    DmpModelMonteCarlo mc(params, 5, SamplerMode::kAlias);
+    const auto result = mc.run(200'000, 20'000);
+    benchmark::DoNotOptimize(result.late_fraction);
+  }
+  state.SetItemsProcessed(state.iterations() * 200'000);
+}
+BENCHMARK(BM_ComposedMonteCarlo)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// The historical event loop (golden-pin compatible) for reference; the
+// gap between this and BM_ComposedMonteCarlo/2 is the fast-path speedup.
+void BM_ComposedMonteCarloCompat(benchmark::State& state) {
+  const ComposedParams params = composed_setup(2);
   for (auto _ : state) {
     DmpModelMonteCarlo mc(params, 5);
     const auto result = mc.run(200'000, 20'000);
@@ -78,7 +100,48 @@ void BM_ComposedMonteCarlo(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 200'000);
 }
-BENCHMARK(BM_ComposedMonteCarlo)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ComposedMonteCarloCompat)->Unit(benchmark::kMillisecond);
+
+// Deterministic sharded estimation: 8 shards on however many cores the
+// runner grants (thread count does not change the output, only the time).
+void BM_ComposedMonteCarloSharded(benchmark::State& state) {
+  const ComposedParams params = composed_setup(2);
+  const DmpModelMonteCarlo mc(params, 5, SamplerMode::kAlias);
+  for (auto _ : state) {
+    const auto result = mc.run_sharded(8, 200'000);
+    benchmark::DoNotOptimize(result.late_fraction);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 200'000);
+}
+BENCHMARK(BM_ComposedMonteCarloSharded)->Unit(benchmark::kMillisecond);
+
+// Stored-video finite-horizon engine on the alias fast path; items are
+// consumed video packets.
+void BM_StoredVideoMonteCarlo(benchmark::State& state) {
+  const ComposedParams params = composed_setup(2);
+  constexpr std::int64_t kVideoPackets = 100'000;
+  constexpr std::uint64_t kReps = 4;
+  for (auto _ : state) {
+    const auto result = stored_video_late_fraction(
+        params, kVideoPackets, kReps, 7, SamplerMode::kAlias);
+    benchmark::DoNotOptimize(result.late_fraction);
+  }
+  state.SetItemsProcessed(state.iterations() * kReps * kVideoPackets);
+}
+BENCHMARK(BM_StoredVideoMonteCarlo)->Unit(benchmark::kMillisecond);
+
+// Engine construction against a warm chain cache: after the first
+// iteration every probe-style rebuild is a hash lookup, not a BFS + solve.
+void BM_ChainCacheConstruction(benchmark::State& state) {
+  const ComposedParams params = composed_setup(2);
+  for (auto _ : state) {
+    DmpModelMonteCarlo mc(params, 5, SamplerMode::kAlias);
+    benchmark::DoNotOptimize(&mc);
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(chain_cache_stats().hits);
+}
+BENCHMARK(BM_ChainCacheConstruction);
 
 }  // namespace
 

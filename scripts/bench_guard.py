@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Threshold guard on the composed Monte-Carlo fast path.
+
+Reads a google-benchmark JSON report and fails CI when the alias-sampled
+engine regresses:
+
+  * absolute floor on BM_ComposedMonteCarlo/2 items/s (conservative, so a
+    slow shared runner does not flake the build), and
+  * a relative floor against BM_ComposedMonteCarloCompat from the same run
+    (runner-speed independent: the fast path must stay meaningfully ahead
+    of the historical event loop it replaced).
+
+Usage: bench_guard.py REPORT.json [--min-items-per-s N] [--min-speedup X]
+"""
+
+import argparse
+import json
+import sys
+
+
+def items_per_second(report, name):
+    for bench in report.get("benchmarks", []):
+        if bench.get("name") == name and bench.get("run_type") != "aggregate":
+            rate = bench.get("items_per_second")
+            if rate is None:
+                raise SystemExit(f"{name}: no items_per_second counter")
+            return float(rate)
+    raise SystemExit(f"{name}: not found in report")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--min-items-per-s", type=float, default=40e6)
+    parser.add_argument("--min-speedup", type=float, default=1.3)
+    args = parser.parse_args()
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+
+    alias = items_per_second(report, "BM_ComposedMonteCarlo/2")
+    compat = items_per_second(report, "BM_ComposedMonteCarloCompat")
+    speedup = alias / compat if compat > 0 else float("inf")
+
+    print(f"BM_ComposedMonteCarlo/2:     {alias / 1e6:8.1f} M items/s")
+    print(f"BM_ComposedMonteCarloCompat: {compat / 1e6:8.1f} M items/s")
+    print(f"speedup: {speedup:.2f}x  (floors: "
+          f"{args.min_items_per_s / 1e6:.0f}M abs, {args.min_speedup}x rel)")
+
+    failures = []
+    if alias < args.min_items_per_s:
+        failures.append(
+            f"absolute floor violated: {alias / 1e6:.1f}M < "
+            f"{args.min_items_per_s / 1e6:.0f}M items/s")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"relative floor violated: {speedup:.2f}x < {args.min_speedup}x "
+            "over the compat loop")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

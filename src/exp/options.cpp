@@ -22,9 +22,10 @@ namespace {
 const char* const kKnownVars[] = {
     "DMP_RUNS",           "DMP_DURATION_S",      "DMP_SEED",
     "DMP_MC_MIN",         "DMP_MC_MAX",          "DMP_THREADS",
-    "DMP_OBS",            "DMP_OBS_PROBE_S",     "DMP_TRACE",
-    "DMP_OUT_DIR",        "DMP_FIG7_DURATION_S", "DMP_TABLE1_PROBE_S",
-    "DMP_FAULTS",         "DMP_SANITIZE",        "DMP_CHECK_BUILD_DIR",
+    "DMP_MODEL_SHARDS",   "DMP_OBS",             "DMP_OBS_PROBE_S",
+    "DMP_TRACE",          "DMP_OUT_DIR",         "DMP_FIG7_DURATION_S",
+    "DMP_TABLE1_PROBE_S", "DMP_FAULTS",          "DMP_SANITIZE",
+    "DMP_CHECK_BUILD_DIR",
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -75,8 +76,8 @@ void reject_unknown_vars() {
       fail("unknown variable " + std::string(name) +
            " (misspelled knob? known: DMP_RUNS DMP_DURATION_S DMP_SEED "
            "DMP_MC_MIN DMP_MC_MAX DMP_THREADS DMP_OBS DMP_OBS_PROBE_S "
-           "DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S DMP_TABLE1_PROBE_S "
-           "DMP_FAULTS)");
+           "DMP_MODEL_SHARDS DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S "
+           "DMP_TABLE1_PROBE_S DMP_FAULTS)");
     }
   }
 }
@@ -103,6 +104,11 @@ BenchOptions BenchOptions::from_env() {
     const std::int64_t t = parse_int("DMP_THREADS", v);
     if (t < 0 || t > 1024) fail("DMP_THREADS must be in [0, 1024]");
     o.threads = static_cast<std::size_t>(t);
+  }
+  if (const char* v = get("DMP_MODEL_SHARDS")) {
+    const std::int64_t s = parse_int("DMP_MODEL_SHARDS", v);
+    if (s < 0 || s > 65536) fail("DMP_MODEL_SHARDS must be in [0, 65536]");
+    o.model_shards = static_cast<std::uint64_t>(s);
   }
   if (const char* v = get("DMP_OBS")) o.obs = parse_bool("DMP_OBS", v);
   if (const char* v = get("DMP_OBS_PROBE_S")) {
@@ -138,11 +144,12 @@ std::string BenchOptions::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "runs=%lld duration_s=%g seed=%llu mc=[%llu, %llu] "
-                "threads=%zu obs=%d trace=%d",
+                "threads=%zu model_shards=%llu obs=%d trace=%d",
                 static_cast<long long>(runs), duration_s,
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(mc_min),
-                static_cast<unsigned long long>(mc_max), threads, obs ? 1 : 0,
+                static_cast<unsigned long long>(mc_max), threads,
+                static_cast<unsigned long long>(model_shards), obs ? 1 : 0,
                 trace ? 1 : 0);
   return buf;
 }

@@ -20,6 +20,12 @@ struct BenchOptions {
   std::uint64_t mc_max = 6'400'000;  // DMP_MC_MAX: Monte-Carlo budget ceiling
   // DMP_THREADS: experiment-runner worker count; 0 = hardware concurrency.
   std::size_t threads = 0;
+  // DMP_MODEL_SHARDS: when > 0, model benches (fig8/fig9) estimate with the
+  // deterministic sharded Monte-Carlo engine (this many shards, alias
+  // sampling) instead of the sequential compat engine.  Output is a pure
+  // function of the seed and shard count — identical at any DMP_THREADS —
+  // but differs from the shards=0 golden numbers.
+  std::uint64_t model_shards = 0;
   // DMP_OBS=1 attaches the observability layer (metrics registry, gauge
   // probe CSV, event JSONL, RunReport JSON) to the first replication.
   bool obs = false;

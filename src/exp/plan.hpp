@@ -30,6 +30,15 @@ inline constexpr std::uint64_t kProbe = 2;        // backlogged-probe seeds
 inline constexpr std::uint64_t kModelMc = 3;      // model Monte-Carlo seeds
 inline constexpr std::uint64_t kEmul = 4;         // WAN-emulation seeds
 
+// Kinds 5..15 are reserved for future bench-level streams.  Kinds >= 16
+// belong to library-internal streams that derive from a caller-supplied
+// root seed below the exp layer (which cannot include this header):
+//   16 — required-delay probe seeds, one per tau grid point
+//        (model/required_delay.cpp)
+//   17 — Monte-Carlo shard seeds for run_sharded
+//        (model/composed_chain.cpp)
+// Keep this registry in sync when adding either kind of stream.
+
 inline constexpr std::uint64_t stream(std::uint64_t kind,
                                       std::uint64_t index) {
   return (kind << 32) | index;

@@ -32,13 +32,6 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-ExperimentRunner::ExperimentRunner(std::size_t threads) : threads_(threads) {
-  if (threads_ == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads_ = hw == 0 ? 1 : hw;
-  }
-}
-
 ExperimentReport ExperimentRunner::run(const ExperimentPlan& plan,
                                        Consume consume,
                                        Progress progress) const {
@@ -49,7 +42,7 @@ ExperimentReport ExperimentRunner::run(const ExperimentPlan& plan,
   report.experiment = plan.name;
   report.root_seed = plan.seed;
   report.replications = reps;
-  report.threads_used = threads_;
+  report.threads_used = threads();
   report.settings.resize(plan.settings.size());
   for (std::size_t s = 0; s < plan.settings.size(); ++s) {
     report.settings[s].name = plan.settings[s].name;

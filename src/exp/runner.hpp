@@ -5,34 +5,30 @@
 // STRICT index order.  Because every work item is a pure function of its
 // index (seeded via util/seed_stream) and consumption is ordered, the
 // observable output is bit-identical whether the pool has 1 thread or 16 —
-// parallelism only changes wall-clock.  A sliding admission window (2x the
-// worker count) bounds how far production runs ahead of consumption, so a
-// sweep of thousands of replications holds O(threads) SessionResults in
-// memory, not O(n).
+// parallelism only changes wall-clock.
+//
+// The pool itself is util's OrderedPool (also the engine under the model's
+// sharded Monte-Carlo estimator); this class layers the experiment-plan
+// orchestration — replication seeding, outcome capture, per-setting
+// aggregation — on top of it.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <optional>
-#include <thread>
-#include <type_traits>
 #include <utility>
-#include <vector>
 
 #include "exp/plan.hpp"
 #include "exp/report.hpp"
+#include "util/parallel.hpp"
 
 namespace dmp::exp {
 
 class ExperimentRunner {
  public:
   // 0 = one worker per hardware thread.
-  explicit ExperimentRunner(std::size_t threads = 0);
+  explicit ExperimentRunner(std::size_t threads = 0) : pool_(threads) {}
 
-  std::size_t threads() const { return threads_; }
+  std::size_t threads() const { return pool_.threads(); }
 
   using Progress = std::function<void(std::size_t done, std::size_t total)>;
   using Consume = std::function<void(std::size_t setting, std::size_t rep,
@@ -52,101 +48,17 @@ class ExperimentRunner {
   // when index i is due for consumption.
   template <class Produce, class Consume2>
   void run_ordered(std::size_t n, Produce produce, Consume2 consume) const {
-    using R = std::invoke_result_t<Produce&, std::size_t>;
-    const std::size_t workers = threads_ < n ? threads_ : n;
-    if (workers <= 1) {
-      for (std::size_t i = 0; i < n; ++i) consume(i, produce(i));
-      return;
-    }
-
-    std::mutex mu;
-    std::condition_variable may_produce, may_consume;
-    std::size_t next = 0;      // next index a worker may claim
-    std::size_t consumed = 0;  // items already handed to consume()
-    const std::size_t window = 2 * workers;
-    std::vector<std::optional<R>> slots(n);
-    std::vector<std::exception_ptr> errors(n);
-
-    auto worker = [&] {
-      for (;;) {
-        std::size_t i;
-        {
-          std::unique_lock<std::mutex> lock(mu);
-          may_produce.wait(
-              lock, [&] { return next >= n || next < consumed + window; });
-          if (next >= n) return;
-          i = next++;
-        }
-        std::optional<R> value;
-        std::exception_ptr error;
-        try {
-          value.emplace(produce(i));
-        } catch (...) {
-          error = std::current_exception();
-        }
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          slots[i] = std::move(value);
-          errors[i] = error;
-        }
-        may_consume.notify_all();
-      }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-
-    // Join even if consume() throws: park the claim counter past the end
-    // so idle workers exit, then join before propagating.
-    struct Joiner {
-      std::mutex& mu;
-      std::condition_variable& may_produce;
-      std::size_t& next;
-      std::size_t n;
-      std::vector<std::thread>& pool;
-      ~Joiner() {
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          next = n;
-        }
-        may_produce.notify_all();
-        for (auto& t : pool) t.join();
-      }
-    } joiner{mu, may_produce, next, n, pool};
-
-    for (std::size_t i = 0; i < n; ++i) {
-      std::optional<R> value;
-      std::exception_ptr error;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        may_consume.wait(lock,
-                         [&] { return slots[i].has_value() || errors[i]; });
-        value = std::move(slots[i]);
-        slots[i].reset();  // free the result before the window advances
-        error = errors[i];
-        ++consumed;
-      }
-      may_produce.notify_all();
-      if (error) std::rethrow_exception(error);
-      consume(i, std::move(*value));
-    }
+    pool_.run_ordered(n, std::move(produce), std::move(consume));
   }
 
   // Convenience: fn(i) for i in [0, n), results returned in index order.
   template <class Fn>
-  auto map(std::size_t n, Fn fn) const
-      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
-    std::vector<std::invoke_result_t<Fn&, std::size_t>> results;
-    results.reserve(n);
-    run_ordered(n, fn, [&](std::size_t, auto&& value) {
-      results.push_back(std::forward<decltype(value)>(value));
-    });
-    return results;
+  auto map(std::size_t n, Fn fn) const {
+    return pool_.map(n, std::move(fn));
   }
 
  private:
-  std::size_t threads_;
+  OrderedPool pool_;
 };
 
 }  // namespace dmp::exp

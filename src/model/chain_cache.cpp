@@ -1,0 +1,145 @@
+#include "model/chain_cache.hpp"
+
+#include <array>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dmp {
+
+namespace {
+
+struct ChainKey {
+  // Bit patterns of the double fields (-0.0 canonicalized to +0.0) plus
+  // the packed integer fields.  NaNs never reach the cache: the
+  // TcpFlowChain ctor rejects them first.
+  std::array<std::uint64_t, 4> words{};
+
+  bool operator==(const ChainKey& o) const { return words == o.words; }
+};
+
+std::uint64_t double_bits(double x) {
+  if (x == 0.0) x = 0.0;  // collapse -0.0 onto +0.0
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+ChainKey make_key(const TcpChainParams& p) {
+  ChainKey key;
+  key.words[0] = double_bits(p.loss_rate);
+  key.words[1] = double_bits(p.rtt_s);
+  key.words[2] = double_bits(p.to_ratio);
+  key.words[3] = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.wmax))
+                  << 32) |
+                 (static_cast<std::uint64_t>(
+                      static_cast<std::uint8_t>(p.ack_every))
+                  << 8) |
+                 static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(p.max_backoff));
+  return key;
+}
+
+struct ChainKeyHash {
+  std::size_t operator()(const ChainKey& k) const {
+    // SplitMix64-style mix over the four words.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::uint64_t w : k.words) {
+      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Cache {
+  std::mutex mu;
+  // Most-recently-used at the front; map values point into the list.
+  using Entry = std::pair<ChainKey, std::shared_ptr<const TcpFlowChain>>;
+  std::list<Entry> lru;
+  std::unordered_map<ChainKey, std::list<Entry>::iterator, ChainKeyHash> map;
+  std::size_t capacity = 128;
+  ChainCacheStats stats;
+};
+
+Cache& cache() {
+  static Cache* instance = new Cache;  // never destroyed: avoids shutdown races
+  return *instance;
+}
+
+}  // namespace
+
+std::shared_ptr<const TcpFlowChain> shared_flow_chain(
+    const TcpChainParams& params) {
+  const ChainKey key = make_key(params);
+  Cache& c = cache();
+  std::unique_lock<std::mutex> lock(c.mu);
+  if (auto it = c.map.find(key); it != c.map.end()) {
+    ++c.stats.hits;
+    c.lru.splice(c.lru.begin(), c.lru, it->second);
+    return it->second->second;
+  }
+  ++c.stats.misses;
+  // Build outside the lock: chain construction is the expensive part, and
+  // holding the mutex through it would serialize every worker thread on a
+  // cold start.  Concurrent misses on the same key may build twice; the
+  // second insert wins the map slot and the first copy dies with its
+  // callers' shared_ptrs.
+  lock.unlock();
+  auto chain = std::make_shared<const TcpFlowChain>(params);
+  lock.lock();
+  if (auto it = c.map.find(key); it != c.map.end()) {
+    ++c.stats.hits;
+    c.lru.splice(c.lru.begin(), c.lru, it->second);
+    return it->second->second;
+  }
+  c.lru.emplace_front(key, chain);
+  c.map.emplace(key, c.lru.begin());
+  while (c.lru.size() > c.capacity) {
+    c.map.erase(c.lru.back().first);
+    c.lru.pop_back();
+    ++c.stats.evictions;
+  }
+  return chain;
+}
+
+ChainCacheStats chain_cache_stats() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  ChainCacheStats out = c.stats;
+  out.entries = c.lru.size();
+  return out;
+}
+
+void chain_cache_clear() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.lru.clear();
+  c.map.clear();
+  c.stats = ChainCacheStats{};
+}
+
+std::size_t chain_cache_capacity() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.capacity;
+}
+
+void set_chain_cache_capacity(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument{"chain cache capacity must be >= 1"};
+  }
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.capacity = capacity;
+  while (c.lru.size() > c.capacity) {
+    c.map.erase(c.lru.back().first);
+    c.lru.pop_back();
+    ++c.stats.evictions;
+  }
+}
+
+}  // namespace dmp

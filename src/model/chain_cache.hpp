@@ -1,0 +1,51 @@
+// Process-wide memo cache of solved per-flow chains.
+//
+// Every layer above the per-flow CTMC — bisection probes in
+// required_delay, Monte-Carlo replications, stored-video runs, the
+// heterogeneity inversions — constructs `TcpFlowChain`s for a handful of
+// parameter points over and over.  `shared_flow_chain` canonicalizes the
+// parameters into a bit-exact key and hands out a shared_ptr to a single
+// immutable chain per point, so the BFS build and the Gauss-Seidel solve
+// (memoized inside TcpFlowChain) each happen once per process instead of
+// once per probe.
+//
+// The cache is a mutex-guarded LRU (default capacity 128 chains; a
+// wmax=20 chain is ~1k states, so the cap bounds memory at a few tens of
+// MB even for large windows).  Keying is by the raw bit patterns of the
+// double fields (with -0.0 normalized to +0.0) plus the integer fields:
+// two TcpChainParams share a cache entry iff every field compares
+// bit-identical, so there is no epsilon aliasing and no invalidation —
+// entries only leave by LRU eviction or an explicit clear.
+// See docs/MODEL_ENGINE.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "model/tcp_chain.hpp"
+
+namespace dmp {
+
+// Shared immutable chain for `params`, built (and later solved) at most
+// once per process per distinct parameter point.  Thread-safe.
+std::shared_ptr<const TcpFlowChain> shared_flow_chain(
+    const TcpChainParams& params);
+
+struct ChainCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+ChainCacheStats chain_cache_stats();
+
+// Drops every cached chain (outstanding shared_ptrs stay valid) and
+// zeroes the counters.  Mainly for tests that assert on hit/miss counts.
+void chain_cache_clear();
+
+std::size_t chain_cache_capacity();
+void set_chain_cache_capacity(std::size_t capacity);  // >= 1
+
+}  // namespace dmp

@@ -18,8 +18,18 @@
 //   * DmpModelMonteCarlo samples trajectories of the same generator —
 //     linear-time per event, handles any Nmax / wmax, and is the workhorse
 //     behind every Section-7 figure.
+//
+// The Monte-Carlo engine has two sampling modes (docs/MODEL_ENGINE.md):
+//   * SamplerMode::kCompat (default) replays the historical event loop
+//     operation for operation — one uniform per event, linear transition
+//     scans — so seeded runs reproduce the golden pins byte-identically.
+//   * SamplerMode::kAlias is the fast path: consecutive consumptions
+//     between flow events collapse into one geometric draw, and flow
+//     transitions sample through the per-state Walker alias tables in
+//     O(1).  Same generator, same distribution, different realizations.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -37,6 +47,16 @@ struct ComposedParams {
 
   std::int64_t nmax() const;
 };
+
+enum class SamplerMode {
+  kCompat,  // historical event loop, byte-identical to pre-CSR goldens
+  kAlias,   // alias-table transitions + bulk geometric consumptions
+};
+
+// The materialized product-chain generator (validation sizes only; throws
+// beyond ~2M states).  Exposed so tests can cross-check the two
+// steady-state solvers on the same composed chain.
+Ctmc composed_ctmc(const ComposedParams& params);
 
 class ComposedChainExact {
  public:
@@ -76,14 +96,17 @@ struct StoredVideoResult {
   std::uint64_t replications = 0;
 };
 
-StoredVideoResult stored_video_late_fraction(const ComposedParams& params,
-                                             std::int64_t video_packets,
-                                             std::uint64_t replications,
-                                             std::uint64_t seed);
+StoredVideoResult stored_video_late_fraction(
+    const ComposedParams& params, std::int64_t video_packets,
+    std::uint64_t replications, std::uint64_t seed,
+    SamplerMode mode = SamplerMode::kCompat);
 
 class DmpModelMonteCarlo {
  public:
-  DmpModelMonteCarlo(const ComposedParams& params, std::uint64_t seed);
+  DmpModelMonteCarlo(const ComposedParams& params, std::uint64_t seed,
+                     SamplerMode mode = SamplerMode::kCompat);
+
+  SamplerMode sampler_mode() const { return mode_; }
 
   // Simulates until `consumptions` consumption events have been *counted*
   // (after discarding `warmup` consumptions for the initial transient).
@@ -96,10 +119,31 @@ class DmpModelMonteCarlo {
                                      std::uint64_t min_consumptions,
                                      std::uint64_t max_consumptions);
 
+  static constexpr std::uint64_t kAutoWarmup = ~0ull;
+
+  // Deterministic sharded estimation: `shards` independent alias-mode
+  // trajectories, shard s seeded from the SplitMix64 stream
+  // (seed, shard domain).at(s), executed on an OrderedPool and merged in
+  // shard order.  The result is a pure function of (params, seed, shards,
+  // consumptions_per_shard, warmup_per_shard) — byte-identical at any
+  // `threads` / DMP_THREADS, matching the experiment-runner contract.
+  // The CI is a t-interval over per-shard late fractions.  This engine's
+  // own trajectory and RNG are untouched.
+  MonteCarloResult run_sharded(std::uint64_t shards,
+                               std::uint64_t consumptions_per_shard,
+                               std::uint64_t warmup_per_shard = kAutoWarmup,
+                               std::size_t threads = 0) const;
+
  private:
   void step_flow(std::size_t k);
   // One event of the composed chain; returns true if it was a consumption.
   bool step();
+  // Counted consumptions reach `target` (mode-dispatched hot loop).
+  void advance_to(std::uint64_t target);
+  // The alias-mode hot loop: bulk geometric consumption draws between
+  // alias-sampled flow transitions.
+  void advance_alias(std::uint64_t target);
+  MonteCarloResult snapshot() const;
 
   ComposedParams params_;
   std::vector<std::shared_ptr<const TcpFlowChain>> chains_;
@@ -107,6 +151,8 @@ class DmpModelMonteCarlo {
   std::int64_t n_ = 0;
   std::int64_t nmax_;
   Rng rng_;
+  std::uint64_t seed_;
+  SamplerMode mode_;
 
   // accounting for the current run() call
   std::uint64_t late_ = 0;
@@ -114,6 +160,26 @@ class DmpModelMonteCarlo {
   std::vector<std::uint64_t> flow_delivered_;
   double early_sum_ = 0.0;
   BatchMeans batches_;
+
+  // Alias-path working state: per-flow current exit rates (contiguous, so
+  // the hot loop never chases chain pointers), and one geometric-draw
+  // alias table per distinct total exit rate ("rate class").  The table
+  // samples J = #consumptions before the next flow event — outcomes 0..31
+  // plus a tail outcome worth 32 + resample, exact by memorylessness — in
+  // one uniform instead of a std::log call.  Exit rates take only a
+  // handful of semantically distinct values, so the class list stays tiny;
+  // matching is by the same 1e-9 relative tolerance the hot loop uses.
+  struct GeomClass {
+    double active = 0.0;                 // total exit rate this table is for
+    std::array<double, 33> cut{};        // Walker alias: acceptance cuts
+    std::array<std::uint8_t, 33> alias{};  // Walker alias: overflow targets
+  };
+  const GeomClass& geom_class_for(double active);
+
+  std::vector<double> exit_now_;
+  std::vector<GeomClass> geom_classes_;
+  double alias_active_ = -1.0;   // rate class currently in effect
+  std::size_t alias_class_ = 0;  // index into geom_classes_
 };
 
 }  // namespace dmp

@@ -2,13 +2,15 @@
 
 #include <stdexcept>
 
+#include "model/chain_cache.hpp"
+
 namespace dmp {
 
 HeterogeneousPair homogeneous_pair(const TcpChainParams& per_path) {
   HeterogeneousPair pair;
   pair.flows = {per_path, per_path};
   pair.aggregate_throughput_pps =
-      2.0 * TcpFlowChain(per_path).achievable_throughput_pps();
+      2.0 * shared_flow_chain(per_path)->achievable_throughput_pps();
   return pair;
 }
 
@@ -23,13 +25,13 @@ HeterogeneousPair heterogeneous_pair(const TcpChainParams& homogeneous,
     pair.flows[1].rtt_s = homogeneous.rtt_s / (2.0 - 1.0 / gamma);
   } else {
     const double sigma_o =
-        TcpFlowChain(homogeneous).achievable_throughput_pps();
+        shared_flow_chain(homogeneous)->achievable_throughput_pps();
     pair.flows[0].loss_rate = gamma * homogeneous.loss_rate;
     if (pair.flows[0].loss_rate >= 1.0) {
       throw std::invalid_argument{"gamma * p must stay below 1"};
     }
     const double sigma_1 =
-        TcpFlowChain(pair.flows[0]).achievable_throughput_pps();
+        shared_flow_chain(pair.flows[0])->achievable_throughput_pps();
     const double sigma_2_target = 2.0 * sigma_o - sigma_1;
     if (sigma_2_target <= 0.0) {
       throw std::invalid_argument{
@@ -40,8 +42,8 @@ HeterogeneousPair heterogeneous_pair(const TcpChainParams& homogeneous,
   }
 
   pair.aggregate_throughput_pps =
-      TcpFlowChain(pair.flows[0]).achievable_throughput_pps() +
-      TcpFlowChain(pair.flows[1]).achievable_throughput_pps();
+      shared_flow_chain(pair.flows[0])->achievable_throughput_pps() +
+      shared_flow_chain(pair.flows[1])->achievable_throughput_pps();
   return pair;
 }
 

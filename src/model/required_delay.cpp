@@ -3,22 +3,57 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/seed_stream.hpp"
+
 namespace dmp {
 
 namespace {
 
-// True if the late fraction at this tau is below the target.
+// Seed-stream domain for per-grid-point probe seeds (kind 16 of the
+// registry in exp/plan.hpp; kinds >= 16 are library-internal).  Distinct
+// grid points draw from effectively disjoint SplitMix64 streams, unlike
+// the old additive `seed + salt` scheme where probe g of one setting
+// collided with probe g+1 of a setting seeded one apart.
+constexpr std::uint64_t kDelayProbeDomain = 16ull << 32;
+
+// True if the late fraction at this tau is below the target; `grid_index`
+// selects the probe's seed-stream element.
 bool tau_passes(const ComposedParams& base, double tau_s,
                 const RequiredDelayOptions& options, double* estimate,
-                std::uint64_t salt) {
+                std::uint64_t grid_index) {
   ComposedParams params = base;
   params.tau_s = tau_s;
-  DmpModelMonteCarlo mc(params, options.seed + salt);
-  const auto result = mc.run_until_decides(options.target_late_fraction,
-                                           options.min_consumptions,
-                                           options.max_consumptions);
+  const std::uint64_t probe_seed =
+      SeedStream(options.seed, kDelayProbeDomain).at(grid_index);
+
+  if (options.shards == 0) {
+    DmpModelMonteCarlo mc(params, probe_seed);
+    const auto result = mc.run_until_decides(options.target_late_fraction,
+                                             options.min_consumptions,
+                                             options.max_consumptions);
+    *estimate = result.late_fraction;
+    // Undecided after the full budget: classify by the point estimate.
+    return result.late_fraction < options.target_late_fraction;
+  }
+
+  // Sharded probe: a fresh deterministic estimate per round with the
+  // per-shard budget doubling until the CI separates from the target or
+  // the total budget is spent.  Every round is a pure function of
+  // (probe_seed, shards, budget), so the decision is byte-identical at
+  // any thread count.
+  const DmpModelMonteCarlo mc(params, probe_seed, SamplerMode::kAlias);
+  std::uint64_t per_shard = options.min_consumptions / options.shards;
+  if (per_shard == 0) per_shard = 1;
+  MonteCarloResult result;
+  for (;;) {
+    result = mc.run_sharded(options.shards, per_shard,
+                            DmpModelMonteCarlo::kAutoWarmup, options.threads);
+    const bool decided = result.ci.hi() < options.target_late_fraction ||
+                         result.ci.lo() > options.target_late_fraction;
+    if (decided || result.consumptions >= options.max_consumptions) break;
+    per_shard *= 2;
+  }
   *estimate = result.late_fraction;
-  // Undecided after the full budget: classify by the point estimate.
   return result.late_fraction < options.target_late_fraction;
 }
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <queue>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_map>
+
+#include "model/chain_cache.hpp"
 
 namespace dmp {
 
@@ -27,8 +29,17 @@ struct StateDesc {
   int l = 0;        // packets lost in the previous round, pending recovery
   int e = 0;        // timeout backoff exponent (timeout states only)
 
-  auto key() const { return std::tie(mode, w, ssthresh, c, l, e); }
-  bool operator<(const StateDesc& o) const { return key() < o.key(); }
+  // Dense packing for the BFS hash map: every field is bounded (w, ssthresh
+  // and l by wmax <= 4095, e by max_backoff, c by b), so the whole state
+  // fits one 64-bit key.
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(mode) << 44) |
+           (static_cast<std::uint64_t>(w) << 32) |
+           (static_cast<std::uint64_t>(ssthresh) << 20) |
+           (static_cast<std::uint64_t>(c) << 19) |
+           (static_cast<std::uint64_t>(l) << 7) |
+           static_cast<std::uint64_t>(e);
+  }
 };
 
 struct SymbolicTransition {
@@ -46,10 +57,14 @@ class Expander {
     if (p.rtt_s <= 0.0) throw std::invalid_argument{"RTT must be positive"};
     if (p.to_ratio <= 0.0) throw std::invalid_argument{"TO must be positive"};
     if (p.wmax < 2) throw std::invalid_argument{"wmax must be >= 2"};
+    if (p.wmax > 4095) throw std::invalid_argument{"wmax must be <= 4095"};
     if (p.ack_every < 1 || p.ack_every > 2) {
       throw std::invalid_argument{"ack_every must be 1 or 2"};
     }
     if (p.max_backoff < 1) throw std::invalid_argument{"max_backoff >= 1"};
+    if (p.max_backoff > 127) {
+      throw std::invalid_argument{"max_backoff must be <= 127"};
+    }
   }
 
   std::vector<SymbolicTransition> expand(const StateDesc& s) const {
@@ -219,74 +234,122 @@ TcpFlowChain::TcpFlowChain(TcpChainParams params) : params_(params) {
   init.w = 1;
   init.ssthresh = std::max(params.wmax / 2, 2);
 
-  // BFS over reachable symbolic states, assigning dense indices.
-  std::map<StateDesc, std::uint32_t> index;
-  std::vector<StateDesc> order;
+  // BFS over reachable symbolic states, assigning dense indices.  The
+  // frontier pops states in discovery (= index) order, so one expansion
+  // pass both discovers successors and emits state si's CSR row before
+  // row si+1 starts.
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  index.reserve(4096);
   std::queue<StateDesc> frontier;
-  index.emplace(init, 0);
-  order.push_back(init);
+  index.emplace(init.key(), 0);
   frontier.push(init);
+
+  row_off_.push_back(0);
   while (!frontier.empty()) {
     const StateDesc s = frontier.front();
     frontier.pop();
+    double exits = 0.0;
     for (const auto& t : expander.expand(s)) {
       if (t.rate <= 0.0) continue;
-      if (index.emplace(t.target, static_cast<std::uint32_t>(order.size()))
-              .second) {
-        order.push_back(t.target);
-        frontier.push(t.target);
-      }
+      const auto [it, inserted] = index.emplace(
+          t.target.key(), static_cast<std::uint32_t>(index.size()));
+      if (inserted) frontier.push(t.target);
+      flat_.push_back(FlowTransition{it->second, t.rate,
+                                     static_cast<std::uint32_t>(t.delivered)});
+      exits += t.rate;
     }
-  }
-
-  transitions_.resize(order.size());
-  exit_rate_.assign(order.size(), 0.0);
-  timeout_flag_.assign(order.size(), false);
-  for (std::uint32_t si = 0; si < order.size(); ++si) {
-    timeout_flag_[si] = order[si].mode == Mode::kTimeout;
-    for (const auto& t : expander.expand(order[si])) {
-      if (t.rate <= 0.0) continue;
-      transitions_[si].push_back(FlowTransition{
-          index.at(t.target), t.rate, static_cast<std::uint32_t>(t.delivered)});
-      exit_rate_[si] += t.rate;
-    }
+    row_off_.push_back(static_cast<std::uint32_t>(flat_.size()));
+    exit_rate_.push_back(exits);
+    timeout_flag_.push_back(s.mode == Mode::kTimeout);
   }
   initial_ = 0;
+
+  // Walker alias tables, one per state over its out-degree d: column j
+  // keeps transition j with probability alias_cut_[j] of the fractional
+  // draw, and donates the rest of its 1/d column to alias_other_[j]
+  // (Vose's stable construction).
+  alias_cut_.assign(flat_.size(), 1.0);
+  alias_other_.assign(flat_.size(), 0);
+  std::vector<std::uint32_t> small_cols, large_cols;
+  std::vector<double> scaled;
+  for (std::uint32_t s = 0; s + 1 < row_off_.size(); ++s) {
+    const std::uint32_t off = row_off_[s];
+    const std::uint32_t d = row_off_[s + 1] - off;
+    if (d == 0) continue;
+    scaled.assign(d, 0.0);
+    small_cols.clear();
+    large_cols.clear();
+    const double norm = static_cast<double>(d) / exit_rate_[s];
+    for (std::uint32_t j = 0; j < d; ++j) {
+      scaled[j] = flat_[off + j].rate * norm;
+      (scaled[j] < 1.0 ? small_cols : large_cols).push_back(j);
+    }
+    while (!small_cols.empty() && !large_cols.empty()) {
+      const std::uint32_t sm = small_cols.back();
+      small_cols.pop_back();
+      const std::uint32_t lg = large_cols.back();
+      alias_cut_[off + sm] = scaled[sm];
+      alias_other_[off + sm] = lg;
+      scaled[lg] -= 1.0 - scaled[sm];
+      if (scaled[lg] < 1.0) {
+        large_cols.pop_back();
+        small_cols.push_back(lg);
+      }
+    }
+    // Leftovers (either list) keep their own column: cut = 1.
+    for (const std::uint32_t j : small_cols) {
+      alias_cut_[off + j] = 1.0;
+      alias_other_[off + j] = j;
+    }
+    for (const std::uint32_t j : large_cols) {
+      alias_cut_[off + j] = 1.0;
+      alias_other_[off + j] = j;
+    }
+  }
 }
 
-std::uint32_t TcpFlowChain::num_states() const {
-  return static_cast<std::uint32_t>(transitions_.size());
-}
-
-std::vector<double> TcpFlowChain::stationary() const {
+void TcpFlowChain::solve_locked() const {
+  if (stationary_) return;
   CtmcBuilder builder(num_states());
   for (std::uint32_t s = 0; s < num_states(); ++s) {
-    for (const auto& t : transitions_[s]) {
+    for (const auto& t : transitions_from(s)) {
       builder.add_transition(s, t.target, t.rate);
     }
   }
-  return std::move(builder).build().steady_state_gauss_seidel();
-}
-
-double TcpFlowChain::achievable_throughput_pps() const {
-  const auto pi = stationary();
+  std::vector<double> pi = std::move(builder).build().steady_state_gauss_seidel();
   double rate = 0.0;
   for (std::uint32_t s = 0; s < num_states(); ++s) {
-    for (const auto& t : transitions_[s]) {
+    for (const auto& t : transitions_from(s)) {
       rate += pi[s] * t.rate * t.delivered;
     }
   }
-  return rate;
+  throughput_pps_ = rate;
+  stationary_ = std::move(pi);
+}
+
+const std::vector<double>& TcpFlowChain::stationary() const {
+  std::lock_guard<std::mutex> lock(solve_mu_);
+  solve_locked();
+  return *stationary_;
+}
+
+double TcpFlowChain::achievable_throughput_pps() const {
+  std::lock_guard<std::mutex> lock(solve_mu_);
+  solve_locked();
+  return throughput_pps_;
 }
 
 double loss_rate_for_throughput(double target_pps, const TcpChainParams& base) {
   if (target_pps <= 0.0) {
     throw std::invalid_argument{"target throughput must be positive"};
   }
+  // Chains go through the shared cache: a repeated inversion (the
+  // heterogeneity benches call this per grid point) re-uses both the chain
+  // build and its memoized solve.
   auto throughput_at = [&](double p) {
     TcpChainParams params = base;
     params.loss_rate = p;
-    return TcpFlowChain(params).achievable_throughput_pps();
+    return shared_flow_chain(params)->achievable_throughput_pps();
   };
   double lo = 1e-5, hi = 0.6;  // throughput decreasing in p
   if (throughput_at(lo) < target_pps) {

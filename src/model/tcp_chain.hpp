@@ -22,9 +22,19 @@
 // Each transition carries S, the number of packets released in order to the
 // client — the increment applied to the early-packet count N(t) in the
 // composed chain.
+//
+// Storage is CSR (one flat transition array + per-state row offsets) so the
+// Monte-Carlo hot loops walk contiguous memory, and every state carries a
+// Walker alias table so the fast samplers draw the next transition in O(1)
+// (`pick_alias`).  `pick_linear` reproduces, operation for operation, the
+// sequential-subtraction scan the engine has always used, so the default
+// "compat" sampling path stays byte-identical to historical golden runs.
+// See docs/MODEL_ENGINE.md.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "solver/ctmc.hpp"
@@ -51,30 +61,98 @@ class TcpFlowChain {
  public:
   explicit TcpFlowChain(TcpChainParams params);
 
+  // The chain owns flat CSR arrays plus a lazily solved stationary vector
+  // guarded by a mutex; instances are shared via shared_flow_chain()
+  // (model/chain_cache.hpp) instead of being copied.
+  TcpFlowChain(const TcpFlowChain&) = delete;
+  TcpFlowChain& operator=(const TcpFlowChain&) = delete;
+
   const TcpChainParams& params() const { return params_; }
-  std::uint32_t num_states() const;
+  std::uint32_t num_states() const {
+    return static_cast<std::uint32_t>(exit_rate_.size());
+  }
   std::uint32_t initial_state() const { return initial_; }
 
-  const std::vector<FlowTransition>& transitions_from(std::uint32_t s) const {
-    return transitions_[s];
+  // Lightweight view over one CSR row (a state's outgoing transitions).
+  struct TransitionSpan {
+    const FlowTransition* data = nullptr;
+    std::uint32_t count = 0;
+    const FlowTransition* begin() const { return data; }
+    const FlowTransition* end() const { return data + count; }
+    std::uint32_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const FlowTransition& operator[](std::uint32_t i) const { return data[i]; }
+    const FlowTransition& back() const { return data[count - 1]; }
+  };
+
+  TransitionSpan transitions_from(std::uint32_t s) const {
+    const std::uint32_t off = row_off_[s];
+    return {flat_.data() + off, row_off_[s + 1] - off};
   }
+
   double exit_rate(std::uint32_t s) const { return exit_rate_[s]; }
   // True while the flow sits in a timeout state (diagnostics).
   bool is_timeout_state(std::uint32_t s) const { return timeout_flag_[s]; }
 
+  // Next transition from `s` given x in [0, exit_rate(s)): the historical
+  // sequential-subtraction scan, preserved bit for bit so seeded runs that
+  // predate the CSR layout reproduce byte-identically.
+  const FlowTransition& pick_linear(std::uint32_t s, double x) const {
+    const std::uint32_t off = row_off_[s];
+    const std::uint32_t last = row_off_[s + 1] - 1;
+    for (std::uint32_t i = off; i < last; ++i) {
+      if (x < flat_[i].rate) return flat_[i];
+      x -= flat_[i].rate;
+    }
+    return flat_[last];
+  }
+
+  // Next transition from `s` given u uniform in [0, 1): Walker alias table,
+  // O(1) for any out-degree.  Same distribution as pick_linear but a
+  // different map from u to outcome, so trajectories differ realization-
+  // by-realization — this is the SamplerMode::kAlias fast path.
+  const FlowTransition& pick_alias(std::uint32_t s, double u) const {
+    const std::uint32_t off = row_off_[s];
+    const std::uint32_t d = row_off_[s + 1] - off;
+    const double scaled = u * static_cast<double>(d);
+    std::uint32_t col = static_cast<std::uint32_t>(scaled);
+    if (col >= d) col = d - 1;  // guards u rounding up to 1.0 * d
+    const double frac = scaled - static_cast<double>(col);
+    const std::uint32_t slot = off + col;
+    const std::uint32_t pick =
+        frac < alias_cut_[slot] ? col : alias_other_[slot];
+    return flat_[off + pick];
+  }
+
   // Stationary distribution of the flow chain alone (backlogged source).
-  std::vector<double> stationary() const;
+  // Solved once and memoized; thread-safe, so chains shared through the
+  // chain cache never re-solve.
+  const std::vector<double>& stationary() const;
 
   // sigma_k: the achievable (backlogged) TCP throughput in packets/s —
   // long-run delivered rate of the chain with no Nmax constraint.
+  // Memoized alongside stationary().
   double achievable_throughput_pps() const;
 
  private:
+  void solve_locked() const;
+
   TcpChainParams params_;
   std::uint32_t initial_ = 0;
-  std::vector<std::vector<FlowTransition>> transitions_;
+  // CSR: state s owns flat_[row_off_[s] .. row_off_[s+1]).
+  std::vector<std::uint32_t> row_off_;
+  std::vector<FlowTransition> flat_;
+  // Per-slot Walker alias table, sharing row_off_'s layout: column j of
+  // state s keeps its own transition when the fractional draw falls below
+  // alias_cut_, and alias_other_ (a row-local index) otherwise.
+  std::vector<double> alias_cut_;
+  std::vector<std::uint32_t> alias_other_;
   std::vector<double> exit_rate_;
   std::vector<bool> timeout_flag_;
+
+  mutable std::mutex solve_mu_;
+  mutable std::optional<std::vector<double>> stationary_;
+  mutable double throughput_pps_ = 0.0;
 };
 
 // Inverse throughput map: the loss rate at which a path with the given RTT,

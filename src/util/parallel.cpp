@@ -1,0 +1,11 @@
+#include "util/parallel.hpp"
+
+namespace dmp {
+
+std::size_t resolve_worker_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace dmp

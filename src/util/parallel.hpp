@@ -1,0 +1,140 @@
+// Ordered worker pool: deterministic fan-out/fan-in for pure work items.
+//
+// `run_ordered(n, produce, consume)` runs `produce(i)` on a worker pool and
+// hands each result to `consume(i, value)` on the calling thread in STRICT
+// index order.  When every work item is a pure function of its index, the
+// observable output is bit-identical whether the pool has 1 thread or 16 —
+// parallelism only changes wall-clock.  A sliding admission window (2x the
+// worker count) bounds how far production runs ahead of consumption, so a
+// sweep of thousands of items holds O(threads) results in memory, not O(n).
+//
+// This is the engine underneath exp::ExperimentRunner (PR 3) and the
+// model's sharded Monte-Carlo estimator; it lives in util so the model
+// layer can use it without depending on the experiment/session stack.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dmp {
+
+// 0 -> one worker per hardware thread (at least 1).
+std::size_t resolve_worker_threads(std::size_t requested);
+
+class OrderedPool {
+ public:
+  explicit OrderedPool(std::size_t threads = 0)
+      : threads_(resolve_worker_threads(threads)) {}
+
+  std::size_t threads() const { return threads_; }
+
+  // produce(i) on the pool; consume(i, produced) on this thread in index
+  // order.  An exception thrown by produce(i) is rethrown on this thread
+  // when index i is due for consumption.
+  template <class Produce, class Consume>
+  void run_ordered(std::size_t n, Produce produce, Consume consume) const {
+    using R = std::invoke_result_t<Produce&, std::size_t>;
+    const std::size_t workers = threads_ < n ? threads_ : n;
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) consume(i, produce(i));
+      return;
+    }
+
+    std::mutex mu;
+    std::condition_variable may_produce, may_consume;
+    std::size_t next = 0;      // next index a worker may claim
+    std::size_t consumed = 0;  // items already handed to consume()
+    const std::size_t window = 2 * workers;
+    std::vector<std::optional<R>> slots(n);
+    std::vector<std::exception_ptr> errors(n);
+
+    auto worker = [&] {
+      for (;;) {
+        std::size_t i;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          may_produce.wait(
+              lock, [&] { return next >= n || next < consumed + window; });
+          if (next >= n) return;
+          i = next++;
+        }
+        std::optional<R> value;
+        std::exception_ptr error;
+        try {
+          value.emplace(produce(i));
+        } catch (...) {
+          error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          slots[i] = std::move(value);
+          errors[i] = error;
+        }
+        may_consume.notify_all();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+
+    // Join even if consume() throws: park the claim counter past the end
+    // so idle workers exit, then join before propagating.
+    struct Joiner {
+      std::mutex& mu;
+      std::condition_variable& may_produce;
+      std::size_t& next;
+      std::size_t n;
+      std::vector<std::thread>& pool;
+      ~Joiner() {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          next = n;
+        }
+        may_produce.notify_all();
+        for (auto& t : pool) t.join();
+      }
+    } joiner{mu, may_produce, next, n, pool};
+
+    for (std::size_t i = 0; i < n; ++i) {
+      std::optional<R> value;
+      std::exception_ptr error;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        may_consume.wait(lock,
+                         [&] { return slots[i].has_value() || errors[i]; });
+        value = std::move(slots[i]);
+        slots[i].reset();  // free the result before the window advances
+        error = errors[i];
+        ++consumed;
+      }
+      may_produce.notify_all();
+      if (error) std::rethrow_exception(error);
+      consume(i, std::move(*value));
+    }
+  }
+
+  // Convenience: fn(i) for i in [0, n), results returned in index order.
+  template <class Fn>
+  auto map(std::size_t n, Fn fn) const
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    std::vector<std::invoke_result_t<Fn&, std::size_t>> results;
+    results.reserve(n);
+    run_ordered(n, fn, [&](std::size_t, auto&& value) {
+      results.push_back(std::forward<decltype(value)>(value));
+    });
+    return results;
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace dmp

@@ -14,10 +14,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -26,25 +22,6 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 Rng Rng::fork() { return Rng{next_u64()}; }
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 random bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) {
   // Lemire's unbiased bounded sampling.
@@ -79,8 +56,6 @@ double Rng::pareto(double alpha, double xm, double cap) {
   const double v = xm / std::pow(u, 1.0 / alpha);
   return v < cap ? v : cap;
 }
-
-bool Rng::chance(double p) { return uniform() < p; }
 
 std::size_t Rng::weighted_index(const double* weights, std::size_t n) {
   double total = 0.0;

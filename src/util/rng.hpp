@@ -17,12 +17,26 @@ class Rng {
   // Derive an independent child stream (for per-flow / per-module RNGs).
   Rng fork();
 
-  std::uint64_t next_u64();
+  // Inline: this is the innermost call of every simulation hot loop (DES
+  // events, Monte-Carlo transitions), and the call overhead is measurable.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
-  // Uniform in [0, 1).
-  double uniform();
+  // Uniform in [0, 1): 53 random bits.
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   // Uniform in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
   // Uniform integer in [0, n).
   std::uint64_t uniform_int(std::uint64_t n);
 
@@ -34,12 +48,16 @@ class Rng {
   double pareto(double alpha, double xm, double cap);
 
   // Bernoulli trial.
-  bool chance(double p);
+  bool chance(double p) { return uniform() < p; }
 
   // Sample an index from an unnormalized weight array.
   std::size_t weighted_index(const double* weights, std::size_t n);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
 };
 

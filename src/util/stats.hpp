@@ -60,6 +60,26 @@ class BatchMeans {
   explicit BatchMeans(std::size_t num_batches = 32);
 
   void add(double x);
+  // Folds `count` consecutive samples of the same value `x` in O(batches)
+  // instead of O(count).  For integer-valued x the accumulators match
+  // `count` repeated add(x) calls exactly (the sums stay integral), so the
+  // Monte-Carlo bulk-consumption fast path feeds the same batch stream as
+  // the event-by-event loop.
+  // Inline: this sits inside the Monte-Carlo bulk loop, and keeping the
+  // common no-boundary case visible to the caller's optimizer is worth it.
+  void add_many(double x, std::uint64_t count) {
+    while (count > 0) {
+      const std::uint64_t room = batch_target_ - in_batch_;
+      const std::uint64_t m = count < room ? count : room;
+      const double contrib = x * static_cast<double>(m);
+      total_n_ += static_cast<std::size_t>(m);
+      total_sum_ += contrib;
+      batch_sum_ += contrib;
+      in_batch_ += static_cast<std::size_t>(m);
+      if (in_batch_ >= batch_target_) close_batch();
+      count -= m;
+    }
+  }
   std::size_t count() const { return total_n_; }
   double mean() const;
   // CI over completed batches; falls back to a degenerate interval when

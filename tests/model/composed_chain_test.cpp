@@ -156,6 +156,122 @@ TEST(ComposedParams, NmaxRoundsMuTau) {
   EXPECT_THROW((DmpModelMonteCarlo{params, 1}), std::invalid_argument);
 }
 
+TEST(ComposedExactVsMonteCarlo, AliasSamplerAgreesAtKThree) {
+  // Three-path differential for the alias fast path: small wmax keeps the
+  // exact product tractable (16^3 x (Nmax+1) states).
+  TcpChainParams flow = tiny_flow(0.08);
+  flow.wmax = 4;
+  flow.max_backoff = 2;
+  ComposedParams params;
+  params.flows = {flow, flow, flow};
+  params.mu_pps = 24.0;
+  params.tau_s = 0.25;  // Nmax = 6
+  const double exact = ComposedChainExact(params).late_fraction();
+
+  DmpModelMonteCarlo mc(params, 11, SamplerMode::kAlias);
+  const auto result = mc.run(2'000'000, 100'000);
+  EXPECT_NEAR(result.late_fraction, exact, 0.05 * exact);
+  EXPECT_GT(exact, result.ci.lo() - 0.01);
+  EXPECT_LT(exact, result.ci.hi() + 0.01);
+}
+
+TEST(ComposedExactVsMonteCarlo, AliasAndCompatSampleTheSameChain) {
+  // Same generator, different realizations: both modes must straddle the
+  // exact answer on a configuration with substantial lateness.
+  ComposedParams params;
+  params.flows = {tiny_flow(0.05), tiny_flow(0.05)};
+  params.mu_pps = 30.0;
+  params.tau_s = 0.4;
+  const double exact = ComposedChainExact(params).late_fraction();
+  const auto alias =
+      DmpModelMonteCarlo(params, 9, SamplerMode::kAlias).run(800'000, 80'000);
+  const auto compat =
+      DmpModelMonteCarlo(params, 9, SamplerMode::kCompat).run(800'000, 80'000);
+  EXPECT_NEAR(alias.late_fraction, exact, 0.05 * exact);
+  EXPECT_NEAR(compat.late_fraction, exact, 0.05 * exact);
+}
+
+TEST(ComposedSolvers, GaussSeidelAndPowerAgreeOnTheProductChain) {
+  ComposedParams params;
+  params.flows = {tiny_flow(0.06)};
+  params.mu_pps = 20.0;
+  params.tau_s = 0.5;  // Nmax = 10
+  const Ctmc chain = composed_ctmc(params);
+  const auto gs = chain.steady_state_gauss_seidel(1e-13);
+  const auto power = chain.steady_state_power(1e-13);
+  ASSERT_EQ(gs.size(), power.size());
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    EXPECT_NEAR(gs[i], power[i], 1e-8);
+  }
+}
+
+TEST(MonteCarlo, AliasModeDeterministicForFixedSeed) {
+  ComposedParams params;
+  params.flows = {tiny_flow(), tiny_flow()};
+  params.mu_pps = 30.0;
+  params.tau_s = 0.4;
+  const auto a =
+      DmpModelMonteCarlo(params, 42, SamplerMode::kAlias).run(200'000, 20'000);
+  const auto b =
+      DmpModelMonteCarlo(params, 42, SamplerMode::kAlias).run(200'000, 20'000);
+  EXPECT_EQ(a.late, b.late);
+  EXPECT_DOUBLE_EQ(a.late_fraction, b.late_fraction);
+  EXPECT_DOUBLE_EQ(a.mean_early_packets, b.mean_early_packets);
+}
+
+TEST(MonteCarlo, RunUntilDecidesAtMinWhenThresholdIsUnreachable) {
+  // threshold below any possible estimate: the CI separates immediately,
+  // so the decision lands exactly at the minimum budget.
+  ComposedParams params;
+  params.flows = {tiny_flow(0.2)};
+  params.mu_pps = 100.0;
+  params.tau_s = 0.5;
+  DmpModelMonteCarlo mc(params, 1);
+  const auto result = mc.run_until_decides(-1.0, 50'000, 10'000'000);
+  EXPECT_EQ(result.consumptions, 50'000u);
+  // And the early decision reports the same estimate a plain run would.
+  DmpModelMonteCarlo fresh(params, 1);
+  const auto direct = fresh.run(50'000, 5'000);
+  EXPECT_EQ(result.late, direct.late);
+  EXPECT_DOUBLE_EQ(result.late_fraction, direct.late_fraction);
+}
+
+TEST(MonteCarlo, RunUntilDecidesExhaustsBudgetOnAKnifeEdge) {
+  // Threshold pinned at the point estimate: the CI cannot separate, so the
+  // sampler must run out its budget and still return a usable estimate.
+  ComposedParams params;
+  params.flows = {tiny_flow(0.1)};
+  params.mu_pps = 40.0;
+  params.tau_s = 0.5;
+  DmpModelMonteCarlo probe(params, 21);
+  const double knife = probe.run(400'000, 40'000).late_fraction;
+
+  DmpModelMonteCarlo mc(params, 21);
+  const auto result = mc.run_until_decides(knife, 50'000, 400'000);
+  EXPECT_GE(result.consumptions, 400'000u);  // budget exhausted
+  EXPECT_NEAR(result.late_fraction, knife, 0.1 * knife + 0.001);
+}
+
+TEST(MonteCarlo, ResultStaysInternallyConsistentAfterContinuation) {
+  // run_until_decides extends the same trajectory in doubling rounds; the
+  // merged counters must stay consistent after every continuation.
+  ComposedParams params;
+  params.flows = {tiny_flow(0.05), tiny_flow(0.08)};
+  params.mu_pps = 30.0;
+  params.tau_s = 0.4;
+  DmpModelMonteCarlo mc(params, 17);
+  const auto result = mc.run_until_decides(0.05, 30'000, 500'000);
+  EXPECT_GE(result.consumptions, 30'000u);
+  EXPECT_DOUBLE_EQ(result.late_fraction,
+                   static_cast<double>(result.late) /
+                       static_cast<double>(result.consumptions));
+  double share = 0.0;
+  for (double s : result.flow_share) share += s;
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  EXPECT_GE(result.mean_early_packets, 0.0);
+  EXPECT_LE(result.mean_early_packets, static_cast<double>(params.nmax()));
+}
+
 TEST(ComposedExact, RejectsOversizedProducts) {
   ComposedParams params;
   TcpChainParams big;

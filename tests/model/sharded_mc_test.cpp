@@ -1,0 +1,124 @@
+// Deterministic sharded Monte-Carlo estimation: run_sharded must be a pure
+// function of (params, seed, shards, budget) — byte-identical at any worker
+// thread count — and required_startup_delay with sharded probes must carry
+// that invariance through the bisection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "model/composed_chain.hpp"
+#include "model/required_delay.hpp"
+
+namespace dmp {
+namespace {
+
+TcpChainParams tiny_flow() {
+  TcpChainParams p;
+  p.loss_rate = 0.05;
+  p.rtt_s = 0.2;
+  p.to_ratio = 2.0;
+  p.wmax = 6;
+  p.max_backoff = 3;
+  return p;
+}
+
+ComposedParams two_flows() {
+  ComposedParams params;
+  params.flows = {tiny_flow(), tiny_flow()};
+  params.mu_pps = 30.0;
+  params.tau_s = 0.4;
+  return params;
+}
+
+// Bit-level equality: "same estimate up to rounding" is not the contract —
+// the merged result must be the identical bytes at any thread count.
+void expect_identical(const MonteCarloResult& a, const MonteCarloResult& b) {
+  EXPECT_EQ(std::memcmp(&a.late_fraction, &b.late_fraction, sizeof(double)),
+            0);
+  EXPECT_EQ(a.consumptions, b.consumptions);
+  EXPECT_EQ(a.late, b.late);
+  EXPECT_EQ(std::memcmp(&a.ci.mean, &b.ci.mean, sizeof(double)), 0);
+  EXPECT_EQ(
+      std::memcmp(&a.ci.half_width, &b.ci.half_width, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.mean_early_packets, &b.mean_early_packets,
+                        sizeof(double)),
+            0);
+  ASSERT_EQ(a.flow_share.size(), b.flow_share.size());
+  for (std::size_t k = 0; k < a.flow_share.size(); ++k) {
+    EXPECT_EQ(
+        std::memcmp(&a.flow_share[k], &b.flow_share[k], sizeof(double)), 0);
+  }
+}
+
+TEST(ShardedMonteCarlo, ByteIdenticalAcrossThreadCounts) {
+  const DmpModelMonteCarlo mc(two_flows(), 41, SamplerMode::kAlias);
+  const auto one = mc.run_sharded(6, 50'000, 5'000, /*threads=*/1);
+  const auto two = mc.run_sharded(6, 50'000, 5'000, /*threads=*/2);
+  const auto eight = mc.run_sharded(6, 50'000, 5'000, /*threads=*/8);
+  expect_identical(one, two);
+  expect_identical(one, eight);
+}
+
+TEST(ShardedMonteCarlo, MergesAllShardBudgets) {
+  const DmpModelMonteCarlo mc(two_flows(), 41, SamplerMode::kAlias);
+  const auto result = mc.run_sharded(5, 40'000, 4'000);
+  EXPECT_EQ(result.consumptions, 5u * 40'000u);
+  EXPECT_GT(result.late, 0u);
+  EXPECT_LT(result.late_fraction, 1.0);
+  double share = 0.0;
+  for (double s : result.flow_share) share += s;
+  EXPECT_NEAR(share, 1.0, 1e-12);
+}
+
+TEST(ShardedMonteCarlo, SeedSelectsTheEstimate) {
+  const DmpModelMonteCarlo a(two_flows(), 41, SamplerMode::kAlias);
+  const DmpModelMonteCarlo b(two_flows(), 42, SamplerMode::kAlias);
+  const auto ra = a.run_sharded(4, 40'000);
+  const auto rb = b.run_sharded(4, 40'000);
+  EXPECT_NE(ra.late, rb.late);  // different shard streams
+  EXPECT_NEAR(ra.late_fraction, rb.late_fraction, 0.05);  // same chain
+}
+
+TEST(ShardedMonteCarlo, DoesNotPerturbTheEngineTrajectory) {
+  // run_sharded is const: a sequential run after it must match a run on a
+  // fresh engine with the same seed.
+  DmpModelMonteCarlo probed(two_flows(), 77, SamplerMode::kAlias);
+  (void)probed.run_sharded(3, 20'000);
+  const auto after = probed.run(100'000, 10'000);
+  DmpModelMonteCarlo fresh(two_flows(), 77, SamplerMode::kAlias);
+  const auto baseline = fresh.run(100'000, 10'000);
+  expect_identical(after, baseline);
+}
+
+TEST(ShardedMonteCarlo, ValidatesArguments) {
+  const DmpModelMonteCarlo mc(two_flows(), 1, SamplerMode::kAlias);
+  EXPECT_THROW(mc.run_sharded(0, 1000), std::invalid_argument);
+  EXPECT_THROW(mc.run_sharded(4, 0), std::invalid_argument);
+}
+
+TEST(RequiredDelaySharded, TauInvariantAcrossThreadCounts) {
+  ComposedParams base = two_flows();
+  RequiredDelayOptions options;
+  options.target_late_fraction = 1e-2;
+  options.tau_min_s = 1.0;
+  options.tau_max_s = 16.0;
+  options.min_consumptions = 40'000;
+  options.max_consumptions = 320'000;
+  options.seed = 9;
+  options.shards = 4;
+
+  options.threads = 1;
+  const auto serial = required_startup_delay(base, options);
+  options.threads = 3;
+  const auto threaded = required_startup_delay(base, options);
+
+  EXPECT_EQ(serial.tau_s, threaded.tau_s);
+  EXPECT_EQ(serial.feasible, threaded.feasible);
+  EXPECT_EQ(std::memcmp(&serial.late_at_tau, &threaded.late_at_tau,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(serial.evaluations, threaded.evaluations);
+}
+
+}  // namespace
+}  // namespace dmp
