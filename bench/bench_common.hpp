@@ -93,11 +93,25 @@ inline exp::ExperimentPlan plan_for(const std::string& name,
     config.faults = options.faults;
     plan.settings.push_back({setting.name, std::move(config)});
   }
-  // Attach observability / flight recording to the very first replication.
-  if (options.obs || options.trace) {
+  // Attach observability / flight recording to the very first replication;
+  // telemetry and the DES profiler attach to EVERY replication (the merged
+  // sketch percentiles need every run), with file artifacts only from the
+  // first so parallel workers never contend on one path.
+  if (options.obs || options.trace || options.telemetry ||
+      options.profile != 0) {
     plan.configure = [name, options](SessionConfig& config,
                                      std::size_t setting, std::size_t rep) {
-      if (setting != 0 || rep != 0) return;
+      const bool first = setting == 0 && rep == 0;
+      if (options.telemetry) {
+        config.telemetry.enabled = true;
+        config.telemetry.window_s = options.telemetry_window_s;
+        config.telemetry.write_artifacts = first;
+        config.telemetry.output_dir = bench_output_dir();
+        config.telemetry.prefix = name + "_obs";
+      }
+      config.profile = options.profile != 0;
+      config.profile_wall_time = options.profile == 2;
+      if (!first) return;
       config.obs.enabled = options.obs;
       config.obs.flight_recorder = options.trace;
       config.obs.output_dir = bench_output_dir();

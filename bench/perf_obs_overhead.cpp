@@ -1,0 +1,67 @@
+// Telemetry-overhead guard (google-benchmark): the same fig4-style session
+// with the streaming telemetry layer off vs fully on (windowed channels on
+// every link/TCP agent/server/client recording point plus the delay
+// sketch).  Items are executed DES events, so items/s is an event rate the
+// CI guard can compare across the pair: telemetry-on must stay within a few
+// percent of telemetry-off (scripts/bench_guard.py --max-obs-overhead).
+//
+// No artifacts are written by either arm — this measures the recording
+// points themselves, not the end-of-run CSV flush.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "apps/background.hpp"
+#include "stream/session.hpp"
+
+namespace {
+
+using namespace dmp;
+
+SessionConfig overhead_config() {
+  // Homogeneous two-path fig4 setting (Table-1 config 1), long enough that
+  // steady-state recording dominates setup.
+  SessionConfig config;
+  config.path_configs = {table1_config(1), table1_config(1)};
+  config.mu_pps = 50.0;
+  config.duration_s = 60.0;
+  config.warmup_s = 5.0;
+  config.drain_s = 5.0;
+  config.seed = 2007;
+  return config;
+}
+
+void run_arm(benchmark::State& state, const SessionConfig& config) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = run_session(config);
+    benchmark::DoNotOptimize(result.packets_generated);
+    events += result.events_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_SessionTelemetryOff(benchmark::State& state) {
+  run_arm(state, overhead_config());
+}
+BENCHMARK(BM_SessionTelemetryOff)->Unit(benchmark::kMillisecond);
+
+void BM_SessionTelemetryOn(benchmark::State& state) {
+  SessionConfig config = overhead_config();
+  config.telemetry.enabled = true;
+  run_arm(state, config);
+}
+BENCHMARK(BM_SessionTelemetryOn)->Unit(benchmark::kMillisecond);
+
+// The DES self-profiler's count-only mode, for visibility (reported, not
+// guarded: one branch + one increment per executed event).
+void BM_SessionProfilerOn(benchmark::State& state) {
+  SessionConfig config = overhead_config();
+  config.profile = true;
+  run_arm(state, config);
+}
+BENCHMARK(BM_SessionProfilerOn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

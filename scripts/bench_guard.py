@@ -10,7 +10,15 @@ engine regresses:
     (runner-speed independent: the fast path must stay meaningfully ahead
     of the historical event loop it replaced).
 
+With --obs-report it additionally guards the streaming-telemetry overhead:
+BM_SessionTelemetryOn must process events within --max-obs-overhead
+(default 3%) of BM_SessionTelemetryOff from the same run.  The comparison
+is a ratio of two rates from one binary on one runner, so it is
+machine-speed independent; the best rate across repetitions is used on
+each side to damp scheduler noise.
+
 Usage: bench_guard.py REPORT.json [--min-items-per-s N] [--min-speedup X]
+                      [--obs-report OBS.json] [--max-obs-overhead F]
 """
 
 import argparse
@@ -28,11 +36,43 @@ def items_per_second(report, name):
     raise SystemExit(f"{name}: not found in report")
 
 
+def best_items_per_second(report, name):
+    """Max rate over non-aggregate repetitions (noise-damped)."""
+    rates = [
+        float(bench["items_per_second"])
+        for bench in report.get("benchmarks", [])
+        if bench.get("name") == name and bench.get("run_type") != "aggregate"
+        and bench.get("items_per_second") is not None
+    ]
+    if not rates:
+        raise SystemExit(f"{name}: not found in report")
+    return max(rates)
+
+
+def check_obs_overhead(path, max_overhead):
+    with open(path) as fh:
+        report = json.load(fh)
+    off = best_items_per_second(report, "BM_SessionTelemetryOff")
+    on = best_items_per_second(report, "BM_SessionTelemetryOn")
+    overhead = 1.0 - on / off if off > 0 else float("inf")
+    print(f"BM_SessionTelemetryOff: {off / 1e6:8.2f} M events/s")
+    print(f"BM_SessionTelemetryOn:  {on / 1e6:8.2f} M events/s")
+    print(f"telemetry overhead: {overhead * 100:.2f}%  "
+          f"(floor: {max_overhead * 100:.0f}%)")
+    if overhead > max_overhead:
+        return (f"telemetry overhead {overhead * 100:.2f}% exceeds "
+                f"{max_overhead * 100:.0f}%")
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report")
     parser.add_argument("--min-items-per-s", type=float, default=40e6)
     parser.add_argument("--min-speedup", type=float, default=1.3)
+    parser.add_argument("--obs-report", default=None,
+                        help="perf_obs_overhead JSON to guard as well")
+    parser.add_argument("--max-obs-overhead", type=float, default=0.03)
     args = parser.parse_args()
 
     with open(args.report) as fh:
@@ -56,6 +96,11 @@ def main():
         failures.append(
             f"relative floor violated: {speedup:.2f}x < {args.min_speedup}x "
             "over the compat loop")
+    if args.obs_report:
+        obs_failure = check_obs_overhead(args.obs_report,
+                                         args.max_obs_overhead)
+        if obs_failure:
+            failures.append(obs_failure)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

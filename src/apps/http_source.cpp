@@ -9,7 +9,8 @@ HttpSource::HttpSource(Scheduler& sched, RenoSender& sender,
     : sched_(sched), sender_(sender), config_(config), rng_(rng) {
   sender_.set_space_callback([this] { feed(); });
   const double jitter = rng_.uniform(0.0, config_.start_jitter_s);
-  sched_.post_after(SimTime::seconds(jitter), [this] { start_transfer(); });
+  sched_.post_after(SimTime::seconds(jitter), [this] { start_transfer(); },
+                    EventCategory::kSource);
 }
 
 void HttpSource::start_transfer() {
@@ -34,7 +35,8 @@ void HttpSource::on_object_done() {
   transferring_ = false;
   ++objects_completed_;
   const double think = rng_.exponential(config_.mean_think_time_s);
-  sched_.post_after(SimTime::seconds(think), [this] { start_transfer(); });
+  sched_.post_after(SimTime::seconds(think), [this] { start_transfer(); },
+                    EventCategory::kSource);
 }
 
 }  // namespace dmp

@@ -62,7 +62,8 @@ void WanPath::deliver_with_jitter(const Packet& p) {
   // per-path reordering.
   if (when <= last_delivery_) when = last_delivery_ + SimTime::nanos(1);
   last_delivery_ = when;
-  sched_.post_at(when, [this, p] { fwd_demux_.deliver(p); });
+  sched_.post_at(when, [this, p] { fwd_demux_.deliver(p); },
+                 EventCategory::kLinkDelivery);
 }
 
 PacketHandler WanPath::attach_source(FlowId) {

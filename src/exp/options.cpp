@@ -25,7 +25,8 @@ const char* const kKnownVars[] = {
     "DMP_MODEL_SHARDS",   "DMP_OBS",             "DMP_OBS_PROBE_S",
     "DMP_TRACE",          "DMP_OUT_DIR",         "DMP_FIG7_DURATION_S",
     "DMP_TABLE1_PROBE_S", "DMP_FAULTS",          "DMP_SANITIZE",
-    "DMP_CHECK_BUILD_DIR",
+    "DMP_CHECK_BUILD_DIR", "DMP_TELEMETRY",      "DMP_TELEMETRY_WINDOW_S",
+    "DMP_PROFILE",
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -77,7 +78,8 @@ void reject_unknown_vars() {
            " (misspelled knob? known: DMP_RUNS DMP_DURATION_S DMP_SEED "
            "DMP_MC_MIN DMP_MC_MAX DMP_THREADS DMP_OBS DMP_OBS_PROBE_S "
            "DMP_MODEL_SHARDS DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S "
-           "DMP_TABLE1_PROBE_S DMP_FAULTS)");
+           "DMP_TABLE1_PROBE_S DMP_FAULTS DMP_TELEMETRY "
+           "DMP_TELEMETRY_WINDOW_S DMP_PROFILE)");
     }
   }
 }
@@ -115,6 +117,17 @@ BenchOptions BenchOptions::from_env() {
     o.obs_probe_interval_s = parse_double("DMP_OBS_PROBE_S", v);
   }
   if (const char* v = get("DMP_TRACE")) o.trace = parse_bool("DMP_TRACE", v);
+  if (const char* v = get("DMP_TELEMETRY")) {
+    o.telemetry = parse_bool("DMP_TELEMETRY", v);
+  }
+  if (const char* v = get("DMP_TELEMETRY_WINDOW_S")) {
+    o.telemetry_window_s = parse_double("DMP_TELEMETRY_WINDOW_S", v);
+  }
+  if (const char* v = get("DMP_PROFILE")) {
+    const std::int64_t p = parse_int("DMP_PROFILE", v);
+    if (p < 0 || p > 2) fail("DMP_PROFILE must be 0, 1 or 2");
+    o.profile = static_cast<int>(p);
+  }
   if (const char* v = get("DMP_FIG7_DURATION_S")) {
     o.fig7_duration_s = parse_double("DMP_FIG7_DURATION_S", v);
   }
@@ -135,22 +148,24 @@ BenchOptions BenchOptions::from_env() {
   if (o.mc_min < 1) fail("DMP_MC_MIN must be >= 1");
   if (o.mc_max < o.mc_min) fail("DMP_MC_MAX must be >= DMP_MC_MIN");
   if (!(o.obs_probe_interval_s > 0.0)) fail("DMP_OBS_PROBE_S must be > 0");
+  if (!(o.telemetry_window_s > 0.0)) fail("DMP_TELEMETRY_WINDOW_S must be > 0");
   if (!(o.fig7_duration_s > 0.0)) fail("DMP_FIG7_DURATION_S must be > 0");
   if (!(o.table1_probe_s > 0.0)) fail("DMP_TABLE1_PROBE_S must be > 0");
   return o;
 }
 
 std::string BenchOptions::summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
                 "runs=%lld duration_s=%g seed=%llu mc=[%llu, %llu] "
-                "threads=%zu model_shards=%llu obs=%d trace=%d",
+                "threads=%zu model_shards=%llu obs=%d trace=%d telemetry=%d "
+                "profile=%d",
                 static_cast<long long>(runs), duration_s,
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(mc_min),
                 static_cast<unsigned long long>(mc_max), threads,
                 static_cast<unsigned long long>(model_shards), obs ? 1 : 0,
-                trace ? 1 : 0);
+                trace ? 1 : 0, telemetry ? 1 : 0, profile);
   return buf;
 }
 

@@ -33,6 +33,16 @@ struct BenchOptions {
   // DMP_TRACE=1 additionally attaches the per-packet flight recorder to
   // the first replication (inspect with `trace_query`).
   bool trace = false;
+  // DMP_TELEMETRY=1 enables the streaming telemetry layer (windowed
+  // time-series + quantile sketches) on EVERY replication, so merged-sketch
+  // percentiles land in the aggregate report; CSV/JSONL artifacts are
+  // written for the first replication only.
+  bool telemetry = false;
+  double telemetry_window_s = 1.0;  // DMP_TELEMETRY_WINDOW_S
+  // DMP_PROFILE=1 attaches the DES self-profiler (per-category executed
+  // event counts in the run report); DMP_PROFILE=2 also charges wall
+  // nanoseconds per category (non-deterministic; report-only).
+  int profile = 0;
   double fig7_duration_s = 3000.0;  // DMP_FIG7_DURATION_S
   double table1_probe_s = 120.0;    // DMP_TABLE1_PROBE_S
   // DMP_FAULTS: fault-plan spec applied to every simulated session a bench

@@ -1,5 +1,6 @@
 #include "exp/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -11,8 +12,10 @@ namespace {
 
 // Canonical double formatting: %.17g round-trips every finite double and
 // is stable across runs, which is what makes aggregate_json() comparable
-// byte-for-byte.
+// byte-for-byte.  Non-finite values (empty-series ±inf sentinels) become
+// JSON null — "%.17g" would print "inf", which no parser accepts.
 std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
@@ -54,6 +57,25 @@ void SettingSummary::add_metric(const std::string& metric, double value) {
 const MetricSeries* SettingSummary::find(const std::string& metric) const {
   for (const auto& series : metrics) {
     if (series.name == metric) return &series;
+  }
+  return nullptr;
+}
+
+void SettingSummary::merge_sketch(const std::string& name,
+                                  const obs::QuantileSketch& s) {
+  for (auto& merged : sketches) {
+    if (merged.name == name) {
+      merged.sketch.merge(s);
+      return;
+    }
+  }
+  sketches.push_back(MergedSketch{name, s});
+}
+
+const obs::QuantileSketch* SettingSummary::find_sketch(
+    const std::string& name) const {
+  for (const auto& merged : sketches) {
+    if (merged.name == name) return &merged.sketch;
   }
   return nullptr;
 }
@@ -100,6 +122,26 @@ std::string ExperimentReport::aggregate_json() const {
         out += num(series.samples[i]);
       }
       out += "]}";
+    }
+    out += "], \"percentiles\": [";
+    for (std::size_t p = 0; p < setting.sketches.size(); ++p) {
+      const auto& merged = setting.sketches[p];
+      if (p) out += ", ";
+      out += "{\"name\": ";
+      json_string(out, merged.name);
+      const auto& sk = merged.sketch;
+      out += ", \"count\": " + std::to_string(sk.count());
+      if (sk.count() == 0) {
+        out += ", \"min\": null, \"p50\": null, \"p95\": null"
+               ", \"p99\": null, \"max\": null}";
+        continue;
+      }
+      out += ", \"min\": " + num(sk.min());
+      out += ", \"p50\": " + num(sk.quantile(0.50));
+      out += ", \"p95\": " + num(sk.quantile(0.95));
+      out += ", \"p99\": " + num(sk.quantile(0.99));
+      out += ", \"max\": " + num(sk.max());
+      out += "}";
     }
     out += "]}";
   }

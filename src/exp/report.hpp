@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry/sketch.hpp"
 #include "stream/session.hpp"
 #include "util/stats.hpp"
 
@@ -40,16 +41,30 @@ struct MetricSeries {
   }
 };
 
+// Merged distribution of one named quantity across a setting's
+// replications (e.g. per-packet delay).  Sketches are merged in
+// replication-index order by the runner's ordered consumer, so the merged
+// state — and its JSON — is identical at any DMP_THREADS.
+struct MergedSketch {
+  std::string name;
+  obs::QuantileSketch sketch;
+};
+
 struct SettingSummary {
   std::string name;
   std::vector<std::uint64_t> seeds;   // per replication
   std::vector<std::string> failures;  // "" when the replication succeeded
   std::vector<MetricSeries> metrics;  // insertion order of first replication
+  std::vector<MergedSketch> sketches;  // insertion order of first replication
   double wall_s = 0.0;                // sum of replication wall-clocks
 
   // Appends `value` to the series for `metric`, creating it on first use.
   void add_metric(const std::string& metric, double value);
   const MetricSeries* find(const std::string& metric) const;
+
+  // Folds one replication's sketch into the setting-level merge.
+  void merge_sketch(const std::string& name, const obs::QuantileSketch& s);
+  const obs::QuantileSketch* find_sketch(const std::string& name) const;
 };
 
 class ExperimentReport {

@@ -88,6 +88,16 @@ ExperimentReport ExperimentRunner::run(const ExperimentPlan& plan,
           for (const auto& [name, value] : metrics) {
             setting.add_metric(name, value);
           }
+          // Quantile sketches merge here, on the consumer, which runs in
+          // strict replication order regardless of DMP_THREADS — so the
+          // merged percentiles (and their FP sums) are byte-identical at
+          // any worker count.
+          if (outcome.result.telemetry) {
+            for (const auto& [name, sketch] :
+                 outcome.result.telemetry->sketches()) {
+              setting.merge_sketch(name, sketch);
+            }
+          }
         }
         if (consume) consume(s, r, outcome);
         ++done;

@@ -60,7 +60,7 @@ void FaultInjector::arm() {
   }
   for (const FaultEvent& e : plan_.events) {
     sched_.post_at(epoch_ + SimTime::seconds(e.t_s),
-                   [this, &e] { fire(e); });
+                   [this, &e] { fire(e); }, EventCategory::kFault);
     ++armed_;
   }
 }

@@ -65,6 +65,8 @@ ClientReport DmpInetClient::run() {
     }
     m_delay = &config_.metrics->histogram("client.delay_s");
   }
+  // Time base for the windowed frame channel (telemetry only).
+  const std::uint64_t telemetry_t0 = monotonic_ns();
 
   // Connects and sends the hello declaring the path index and the resume
   // point (kFreshHello on the first connect).
@@ -262,8 +264,16 @@ ClientReport DmpInetClient::run() {
               config_.flight->record(e);
             }
             if (!m_frames.empty()) m_frames[k]->inc();
+            if (config_.telemetry_frames) {
+              config_.telemetry_frames->bump(SimTime::nanos(
+                  static_cast<std::int64_t>(now - telemetry_t0)));
+            }
             if (m_delay && now >= frame.generated_ns) {
               m_delay->observe(
+                  static_cast<double>(now - frame.generated_ns) * 1e-9);
+            }
+            if (config_.delay_sketch && now >= frame.generated_ns) {
+              config_.delay_sketch->add(
                   static_cast<double>(now - frame.generated_ns) * 1e-9);
             }
           });

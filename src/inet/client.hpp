@@ -14,6 +14,8 @@
 #include "inet/socket.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/sketch.hpp"
+#include "obs/telemetry/time_series.hpp"
 #include "stream/trace.hpp"
 
 namespace dmp::inet {
@@ -49,6 +51,11 @@ struct ClientConfig {
   // server-side recorder's epoch exactly.  NOT thread-safe: use a separate
   // recorder per thread.
   obs::FlightRecorder* flight = nullptr;
+  // Optional streaming-telemetry hooks (not owned; may be null): a windowed
+  // reassembled-frame channel (timestamps relative to run start) and a
+  // quantile sketch of generation-to-arrival delay in seconds.
+  obs::TimeSeriesChannel* telemetry_frames = nullptr;
+  obs::QuantileSketch* delay_sketch = nullptr;
 };
 
 struct ClientReport {

@@ -238,6 +238,10 @@ ServerStats DmpInetServer::run() {
       queue_.push_back(Frame{static_cast<std::uint64_t>(generated), due});
       ++generated;
       if (m_generated) m_generated->inc();
+      if (config_.telemetry_generated) {
+        config_.telemetry_generated->bump(
+            SimTime::nanos(static_cast<std::int64_t>(now - t0)));
+      }
       if (config_.flight) {
         obs::FlightEvent e;
         e.t_ns = static_cast<std::int64_t>(now);
@@ -248,6 +252,11 @@ ServerStats DmpInetServer::run() {
       }
     }
     stats.max_queue_packets = std::max(stats.max_queue_packets, queue_.size());
+    if (config_.telemetry_queue_depth) {
+      config_.telemetry_queue_depth->add(
+          SimTime::nanos(static_cast<std::int64_t>(now - t0)),
+          static_cast<double>(queue_.size()));
+    }
     if (wall_probe) wall_probe->poll(now);
 
     // Offer data to every open connection (rotating start for fairness).

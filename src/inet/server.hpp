@@ -21,6 +21,7 @@
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/time_series.hpp"
 
 namespace dmp::inet {
 
@@ -65,6 +66,13 @@ struct ServerConfig {
   // give the server and the client (usually on another thread) separate
   // recorders.
   obs::FlightRecorder* flight = nullptr;
+  // Optional streaming-telemetry channels (not owned; may be null).  Fed
+  // with wall-clock timestamps relative to the generation epoch, so the
+  // windows line up with the simulator's sim-time channels: per-window
+  // generated-frame counts and the shared queue depth sampled once per
+  // poll iteration.
+  obs::TimeSeriesChannel* telemetry_generated = nullptr;
+  obs::TimeSeriesChannel* telemetry_queue_depth = nullptr;
 };
 
 struct ServerStats {

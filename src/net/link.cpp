@@ -59,6 +59,7 @@ void Link::send(const Packet& p) {
     ++total_drops_;
     ++fc.drops;
     if (m_drops_) m_drops_->inc();
+    if (ts_drops_) ts_drops_->bump(sched_.now());
     if (event_log_ && event_log_->enabled(obs::Severity::kWarn)) {
       event_log_->record(sched_.now().to_seconds(), obs::Severity::kWarn,
                          "drop",
@@ -75,6 +76,7 @@ void Link::send(const Packet& p) {
     record_flight(p, obs::FlightEventKind::kLinkEnqueue);
   }
   queue_.push_back(p);
+  if (ts_queue_) ts_queue_->add(sched_.now(), static_cast<double>(queue_.size()));
 }
 
 void Link::start_transmission(const Packet& p) {
@@ -85,7 +87,8 @@ void Link::start_transmission(const Packet& p) {
   in_flight_ = p;
   const SimTime tx = transmission_time(p.size_bytes, config_.bandwidth_bps);
   busy_time_ += tx;
-  sched_.post_after(tx, [this] { on_transmit_done(); });
+  sched_.post_after(tx, [this] { on_transmit_done(); },
+                    EventCategory::kLinkTx);
 }
 
 void Link::on_transmit_done() {
@@ -94,9 +97,10 @@ void Link::on_transmit_done() {
   const Packet delivered = in_flight_;
   ++total_delivered_;
   if (m_delivered_) m_delivered_->inc();
+  if (ts_delivered_) ts_delivered_->bump(sched_.now());
   sched_.post_after(config_.prop_delay, [this, delivered] {
     if (receiver_) receiver_(delivered);
-  });
+  }, EventCategory::kLinkDelivery);
   transmitting_ = false;
   // A downed link freezes its queue: the packet already on the wire
   // completes, but nothing further dequeues until set_down(false).
@@ -104,6 +108,9 @@ void Link::on_transmit_done() {
     const Packet next = queue_.front();
     queue_.pop_front();
     start_transmission(next);
+    if (ts_queue_) {
+      ts_queue_->add(sched_.now(), static_cast<double>(queue_.size()));
+    }
   }
 }
 

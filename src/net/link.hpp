@@ -12,6 +12,7 @@
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/time_series.hpp"
 #include "sim/scheduler.hpp"
 #include "util/sim_time.hpp"
 
@@ -87,6 +88,17 @@ class Link {
     flight_ = recorder;
     flight_hop_ = hop;
   }
+  // Windowed telemetry channels (any may be null): packets forwarded per
+  // window, drop-tail discards per window, and queue-depth samples taken
+  // on every enqueue/dequeue.  Null pointers keep the hot path identical
+  // to an uninstrumented link.
+  void set_telemetry(obs::TimeSeriesChannel* delivered,
+                     obs::TimeSeriesChannel* drops,
+                     obs::TimeSeriesChannel* queue_depth) {
+    ts_delivered_ = delivered;
+    ts_drops_ = drops;
+    ts_queue_ = queue_depth;
+  }
 
  private:
   void start_transmission(const Packet& p);
@@ -118,6 +130,9 @@ class Link {
   obs::EventLog* event_log_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
   std::int32_t flight_hop_ = -1;
+  obs::TimeSeriesChannel* ts_delivered_ = nullptr;
+  obs::TimeSeriesChannel* ts_drops_ = nullptr;
+  obs::TimeSeriesChannel* ts_queue_ = nullptr;
 };
 
 }  // namespace dmp

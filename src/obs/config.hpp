@@ -20,6 +20,13 @@ struct ObsConfig {
   // Gauge-snapshot interval for the time-series probe (simulated seconds);
   // <= 0 disables the probe (counters, events and the report still run).
   double probe_interval_s = 1.0;
+  // Growth caps on the probe CSV (0 = unlimited): once either limit is
+  // reached, further samples are dropped and counted — the run report's
+  // `probe_rows_dropped` scalar surfaces how much was cut.  The event log
+  // is already ring-bounded by `event_ring_capacity` (overwrites are
+  // reported as `events_overwritten`).
+  std::size_t probe_max_rows = 0;
+  std::size_t probe_max_bytes = 0;
   // Ring-buffer capacity for the event log (0 = unbounded).
   std::size_t event_ring_capacity = 65536;
   Severity min_severity = Severity::kInfo;

@@ -1,6 +1,7 @@
 #include "obs/run_report.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -10,6 +11,9 @@ namespace dmp::obs {
 namespace {
 
 std::string json_number(double v) {
+  // to_chars would happily render "inf"/"nan", which is not JSON — empty
+  // RunningStats/Histogram extrema arrive here as ±inf sentinels.
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   auto [ptr, ec] =
       std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 12);

@@ -1,0 +1,42 @@
+// Chrome trace-event export (Perfetto-loadable) of a run's story.
+//
+// Converts a flight-recorder trace (via TraceAnalyzer) — and optionally a
+// windowed-telemetry CSV — into the Trace Event JSON format that
+// chrome://tracing and ui.perfetto.dev load directly:
+//
+//   one async track per path   per-packet spans from generation to arrival
+//   one track per link hop     "X" complete events for each queue->wire
+//                              traversal, instant events for drops
+//   instant events             RTO firings and injected-fault edges
+//   counter tracks             one per telemetry channel (windowed means)
+//
+// Timestamps are microseconds relative to the generation epoch, so the
+// viewer's clock reads as stream time.  Output is deterministic: tracks
+// and events are emitted in sorted (packet, hop, channel) order.
+#pragma once
+
+#include <string>
+
+#include "obs/trace_analyzer.hpp"
+
+namespace dmp::obs {
+
+struct TimelineOptions {
+  // Path to a `*_telemetry.csv` written by TimeSeries::write_csv; each
+  // channel becomes a counter track (empty = no counter tracks).
+  std::string telemetry_csv;
+  // Cap on emitted per-packet spans (<0 = no cap).  Long runs trace tens
+  // of thousands of packets; the viewer rarely needs more than the first
+  // few thousand spans plus the full instant/counter story.
+  std::int64_t max_packets = -1;
+};
+
+// Builds the complete JSON document ({"traceEvents":[...]}).
+std::string chrome_trace_json(const TraceAnalyzer& analyzer,
+                              const TimelineOptions& options = {});
+
+// Writes it to `path`; returns false on I/O failure.
+bool write_chrome_trace(const TraceAnalyzer& analyzer, const std::string& path,
+                        const TimelineOptions& options = {});
+
+}  // namespace dmp::obs

@@ -1,12 +1,14 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace dmp {
 
-void Scheduler::push(SimTime when, EventFn fn, std::uint32_t slot) {
+void Scheduler::push(SimTime when, EventFn fn, std::uint32_t slot,
+                     EventCategory cat) {
   if (when < now_) throw std::invalid_argument{"schedule_at: time in the past"};
   std::uint32_t fn_index;
   if (!free_fns_.empty()) {
@@ -16,28 +18,32 @@ void Scheduler::push(SimTime when, EventFn fn, std::uint32_t slot) {
   } else {
     fn_index = static_cast<std::uint32_t>(fns_.size());
     fns_.push_back(std::move(fn));
+    fn_cats_.push_back(0);
   }
+  fn_cats_[fn_index] = static_cast<std::uint8_t>(cat);
   queue_.push(Entry{when, next_seq_++, fn_index, slot});
   max_pending_ = std::max(max_pending_, queue_.size());
 }
 
-EventHandle Scheduler::schedule_at(SimTime when, EventFn fn) {
+EventHandle Scheduler::schedule_at(SimTime when, EventFn fn,
+                                   EventCategory cat) {
   const std::uint32_t slot = pool_->acquire();
   const std::uint32_t gen = pool_->slots[slot].gen;
-  push(when, std::move(fn), slot);
+  push(when, std::move(fn), slot, cat);
   return EventHandle{pool_, slot, gen};
 }
 
-EventHandle Scheduler::schedule_after(SimTime delay, EventFn fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+EventHandle Scheduler::schedule_after(SimTime delay, EventFn fn,
+                                      EventCategory cat) {
+  return schedule_at(now_ + delay, std::move(fn), cat);
 }
 
-void Scheduler::post_at(SimTime when, EventFn fn) {
-  push(when, std::move(fn), kNoSlot);
+void Scheduler::post_at(SimTime when, EventFn fn, EventCategory cat) {
+  push(when, std::move(fn), kNoSlot, cat);
 }
 
-void Scheduler::post_after(SimTime delay, EventFn fn) {
-  post_at(now_ + delay, std::move(fn));
+void Scheduler::post_after(SimTime delay, EventFn fn, EventCategory cat) {
+  post_at(now_ + delay, std::move(fn), cat);
 }
 
 bool Scheduler::step(SimTime horizon) {
@@ -46,6 +52,9 @@ bool Scheduler::step(SimTime horizon) {
     const Entry top = queue_.top();
     queue_.pop();
     EventFn fn = std::move(fns_[top.fn_index]);
+    // Read the category before fn() runs: the callback may schedule new
+    // events and reallocate the slabs.
+    const std::uint8_t cat = fn_cats_[top.fn_index];
     free_fns_.push_back(top.fn_index);
     const SimTime when = top.when;
     const std::uint32_t slot = top.slot;
@@ -61,7 +70,22 @@ bool Scheduler::step(SimTime horizon) {
     }
     now_ = when;
     ++executed_;
-    fn();
+    if (profile_ == nullptr) {
+      fn();
+    } else {
+      auto& stats = profile_->by_category[cat < kNumEventCategories ? cat : 0];
+      ++stats.executed;
+      if (time_events_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        stats.wall_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+      } else {
+        fn();
+      }
+    }
     return true;
   }
   return false;

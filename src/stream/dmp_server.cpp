@@ -19,7 +19,7 @@ DmpStreamingServer::DmpStreamingServer(Scheduler& sched, double mu_pps,
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
-  sched_.post_at(start, [this] { generate(); });
+  sched_.post_at(start, [this] { generate(); }, EventCategory::kSource);
 }
 
 void DmpStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
@@ -51,9 +51,15 @@ void DmpStreamingServer::generate() {
     e.queue = static_cast<std::int64_t>(queue_.size());
     flight_->record(e);
   }
+  if (ts_generated_) ts_generated_->bump(sched_.now());
   offer_all();
+  // Post-offer backlog: what the CBR source left behind after every sender
+  // with space took its share — the paper's "TCP lags generation" signal.
+  if (ts_backlog_) {
+    ts_backlog_->add(sched_.now(), static_cast<double>(queue_.size()));
+  }
   if (sched_.now() + period_ < end_) {
-    sched_.post_after(period_, [this] { generate(); });
+    sched_.post_after(period_, [this] { generate(); }, EventCategory::kSource);
   }
 }
 

@@ -56,6 +56,11 @@ class DmpStreamingServer : public StreamServer {
   void set_flight_recorder(obs::FlightRecorder* recorder) override {
     flight_ = recorder;
   }
+  void set_telemetry(obs::TimeSeriesChannel* backlog,
+                     obs::TimeSeriesChannel* generated) override {
+    ts_backlog_ = backlog;
+    ts_generated_ = generated;
+  }
 
   // Path failure: reclaim the dead sender's never-transmitted segments into
   // the FRONT of the shared queue (they are the oldest outstanding packets)
@@ -98,6 +103,8 @@ class DmpStreamingServer : public StreamServer {
   std::vector<obs::Counter*> m_pulls_;
   obs::EventLog* event_log_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::TimeSeriesChannel* ts_backlog_ = nullptr;
+  obs::TimeSeriesChannel* ts_generated_ = nullptr;
 };
 
 }  // namespace dmp

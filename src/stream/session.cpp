@@ -71,6 +71,21 @@ SessionResult run_session(const SessionConfig& config) {
     flight = std::make_shared<obs::FlightRecorder>();
   }
 
+  // --- streaming telemetry (optional; independent of `obs`) ---
+  std::shared_ptr<obs::SessionTelemetry> telemetry;
+  if (config.telemetry.enabled) {
+    telemetry = std::make_shared<obs::SessionTelemetry>(config.telemetry);
+    if (config.telemetry.write_artifacts) {
+      std::filesystem::create_directories(config.telemetry.output_dir);
+    }
+  }
+
+  // --- DES self-profiler (counts are deterministic; wall time opt-in) ---
+  SessionResult result;
+  if (config.profile) {
+    sched.set_profiler(&result.profile, config.profile_wall_time);
+  }
+
   // --- network paths + background traffic ---
   std::vector<std::unique_ptr<DumbbellPath>> paths;
   std::vector<std::unique_ptr<BackgroundTraffic>> background;
@@ -83,6 +98,13 @@ SessionResult run_session(const SessionConfig& config) {
       paths.back()->bottleneck().set_event_log(events.get());
     }
     if (flight) paths.back()->set_flight_recorder(flight.get());
+    if (telemetry) {
+      const std::string prefix = "link.path" + std::to_string(i);
+      paths.back()->bottleneck().set_telemetry(
+          telemetry->series().channel(prefix + ".delivered"),
+          telemetry->series().channel(prefix + ".drops"),
+          telemetry->series().channel(prefix + ".queue_depth"));
+    }
     const FlowId first_bg = static_cast<FlowId>(1000 * (i + 1));
     background.push_back(std::make_unique<BackgroundTraffic>(
         sched, *paths.back(), config.path_configs[i], first_bg, rng.fork()));
@@ -112,6 +134,14 @@ SessionResult run_session(const SessionConfig& config) {
       video.back().sender->set_flight_recorder(flight.get());
       video.back().sink->set_flight_recorder(flight.get());
     }
+    if (telemetry) {
+      const std::string suffix = ".path" + std::to_string(k);
+      video.back().sender->set_telemetry(
+          telemetry->series().channel("tcp" + suffix + ".cwnd"),
+          telemetry->series().channel("tcp" + suffix + ".srtt_s"));
+      video.back().sink->set_telemetry(
+          telemetry->series().channel("sink" + suffix + ".reorder_depth"));
+    }
   }
 
   const SimTime epoch = SimTime::seconds(config.warmup_s);
@@ -128,10 +158,24 @@ SessionResult run_session(const SessionConfig& config) {
                                    ".packets");
       delay = &registry->histogram("client.delay_s");
     }
+    // Telemetry recording points: per-path goodput (sum/window = pps), the
+    // generation-to-delivery delay sketch (the percentile columns of the
+    // experiment report), and a late indicator whose window mean is the
+    // windowed late fraction at `telemetry.late_tau_s`.
+    obs::TimeSeriesChannel* ts_delivered = nullptr;
+    obs::TimeSeriesChannel* ts_late = nullptr;
+    obs::QuantileSketch* delay_sketch = nullptr;
+    if (telemetry) {
+      ts_delivered = telemetry->series().channel(
+          "client.path" + std::to_string(k) + ".delivered");
+      ts_late = telemetry->series().channel("client.late_indicator");
+      delay_sketch = telemetry->sketch("client.delay_s");
+    }
+    const double late_tau = config.telemetry.late_tau_s;
     obs::FlightRecorder* fr = flight.get();
     video[k].sink->set_deliver_callback(
-        [&trace, path32, &sched, epoch, arrived, delay, fr](std::int64_t tag,
-                                                            SimTime) {
+        [&trace, path32, &sched, epoch, arrived, delay, fr, ts_delivered,
+         ts_late, delay_sketch, late_tau](std::int64_t tag, SimTime) {
           if (tag < 0) return;
           const SimTime arrival = sched.now() - epoch;
           trace.record(tag, arrival, path32);
@@ -143,11 +187,17 @@ SessionResult run_session(const SessionConfig& config) {
             e.path = static_cast<std::int32_t>(path32);
             fr->record(e);
           }
-          if (arrived) {
-            arrived->inc();
-            delay->observe(
-                (arrival - trace.generation_time(tag)).to_seconds());
+          if (arrived || delay_sketch || ts_late) {
+            const double d =
+                (arrival - trace.generation_time(tag)).to_seconds();
+            if (arrived) {
+              arrived->inc();
+              delay->observe(d);
+            }
+            if (delay_sketch) delay_sketch->add(d);
+            if (ts_late) ts_late->add(sched.now(), d > late_tau ? 1.0 : 0.0);
           }
+          if (ts_delivered) ts_delivered->bump(sched.now());
         });
   }
 
@@ -160,6 +210,10 @@ SessionResult run_session(const SessionConfig& config) {
     server->set_event_log(events.get());
   }
   if (flight) server->set_flight_recorder(flight.get());
+  if (telemetry) {
+    server->set_telemetry(telemetry->series().channel("server.backlog"),
+                          telemetry->series().channel("server.generated"));
+  }
 
   // --- fault injector (only when a plan is given: an empty spec builds
   // nothing and schedules nothing, keeping fault-free runs byte-identical
@@ -205,7 +259,6 @@ SessionResult run_session(const SessionConfig& config) {
 
   // --- time-series probe (per-path cwnd / RTT / queues, server backlog) ---
   std::unique_ptr<obs::Probe> probe;
-  SessionResult result;
   if (registry) {
     std::vector<std::string> columns =
         server->probe_columns("server", config.num_flows);
@@ -225,12 +278,16 @@ SessionResult run_session(const SessionConfig& config) {
       probe = std::make_unique<obs::Probe>(
           sched, *registry, std::move(columns), result.probe_csv_path,
           SimTime::seconds(config.obs.probe_interval_s));
+      probe->set_limits(config.obs.probe_max_rows, config.obs.probe_max_bytes);
       probe->start(horizon);
     }
   }
 
   result.events_executed = sched.run_until(horizon);
-  if (probe) probe->stop();
+  if (probe) {
+    probe->stop();
+    result.probe_rows_dropped = probe->dropped_rows();
+  }
   if (injector) result.fault_events_fired = injector->events_fired();
 
   // --- per-path measurements (Table 2 / Table 3 rows) ---
@@ -263,6 +320,14 @@ SessionResult run_session(const SessionConfig& config) {
     result.flight = std::move(flight);
   }
   if (probe && !probe->ok()) ++result.artifact_write_failures;
+  if (telemetry) {
+    if (config.telemetry.write_artifacts) {
+      result.telemetry_csv_path = config.telemetry.telemetry_csv_path();
+      result.sketches_path = config.telemetry.sketches_path();
+    }
+    result.artifact_write_failures += telemetry->write_artifacts();
+    result.telemetry = std::move(telemetry);
+  }
   if (registry) {
     // The instrumented objects die with this scope; keep their last values.
     registry->freeze_gauges();
@@ -295,6 +360,25 @@ SessionResult run_session(const SessionConfig& config) {
                       static_cast<std::int64_t>(events->overwritten()));
     report.set_scalar("fault_events_fired",
                       static_cast<std::int64_t>(result.fault_events_fired));
+    report.set_scalar("probe_rows_dropped",
+                      static_cast<std::int64_t>(result.probe_rows_dropped));
+    if (config.profile) {
+      // Per-category executed-event attribution (deterministic counts).
+      // Wall times stay out of the report unless explicitly requested: they
+      // vary run to run and would poison golden comparisons.
+      for (std::size_t c = 0; c < kNumEventCategories; ++c) {
+        const auto cat = static_cast<EventCategory>(c);
+        const std::string name{event_category_name(cat)};
+        report.set_scalar(
+            "sched.events." + name,
+            static_cast<std::int64_t>(result.profile.by_category[c].executed));
+        if (config.profile_wall_time) {
+          report.set_scalar(
+              "sched.wall_ns." + name,
+              static_cast<std::int64_t>(result.profile.by_category[c].wall_ns));
+        }
+      }
+    }
     // Artifact-write health: non-zero status means at least one artifact
     // (trace, probe CSV, event log) failed to reach disk before this report.
     report.set_scalar("io_errors",

@@ -15,6 +15,8 @@
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/telemetry.hpp"
+#include "sim/profiler.hpp"
 #include "stream/trace.hpp"
 #include "tcp/tcp_config.hpp"
 
@@ -67,6 +69,17 @@ struct SessionConfig {
   // `<prefix>_report.json` summary at the end of the run.  Off by default:
   // nothing is allocated or scheduled and the hot path is unchanged.
   obs::ObsConfig obs{};
+  // Streaming telemetry (src/obs/telemetry): windowed time-series channels
+  // on links / TCP / server / client plus a client delay quantile sketch.
+  // Independent of `obs` — off by default, and when off every recording
+  // pointer stays null so the hot path is unchanged.
+  obs::TelemetryConfig telemetry{};
+  // DES self-profiling: per-category executed-event counts, written into
+  // `SessionResult::profile` (deterministic; safe for golden artifacts).
+  bool profile = false;
+  // Additionally bracket every callback with steady_clock reads to charge
+  // wall nanoseconds per category.  Non-deterministic; report-only.
+  bool profile_wall_time = false;
 };
 
 // Per-video-flow path statistics (one row of Table 2 / Table 3).
@@ -99,6 +112,20 @@ struct SessionResult {
   // to (feed either to `obs::TraceAnalyzer` / `trace_query`).
   std::shared_ptr<obs::FlightRecorder> flight;
   std::string trace_path;
+
+  // Populated only when the session ran with `telemetry.enabled`: the
+  // windowed channels and quantile sketches, plus the artifact paths when
+  // `telemetry.write_artifacts` was also set (empty otherwise).
+  std::shared_ptr<obs::SessionTelemetry> telemetry;
+  std::string telemetry_csv_path;
+  std::string sketches_path;
+
+  // Per-category executed-event counts (populated when `config.profile`).
+  SchedProfile profile{};
+
+  // Probe rows discarded by the `obs.probe_max_rows` / `obs.probe_max_bytes`
+  // caps (0 when uncapped or when no probe ran).
+  std::uint64_t probe_rows_dropped = 0;
 
   // Artifacts (events/probe/report/trace) that failed to reach disk.
   // Writers warn on stderr and the count lands in the report's

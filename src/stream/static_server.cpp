@@ -32,7 +32,7 @@ StaticStreamingServer::StaticStreamingServer(Scheduler& sched, double mu_pps,
   for (std::size_t k = 0; k < senders_.size(); ++k) {
     senders_[k]->set_space_callback([this, k] { pull_into(k); });
   }
-  sched_.post_at(start, [this] { generate(); });
+  sched_.post_at(start, [this] { generate(); }, EventCategory::kSource);
 }
 
 void StaticStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
@@ -82,9 +82,17 @@ void StaticStreamingServer::generate() {
     e.queue = static_cast<std::int64_t>(queues_[k].size());
     flight_->record(e);
   }
+  if (ts_generated_) ts_generated_->bump(sched_.now());
   pull_into(k);
+  // Post-pull backlog summed over the private queues — comparable to the
+  // DMP shared-queue channel.
+  if (ts_backlog_) {
+    std::size_t backlog = 0;
+    for (const auto& q : queues_) backlog += q.size();
+    ts_backlog_->add(sched_.now(), static_cast<double>(backlog));
+  }
   if (sched_.now() + period_ < end_) {
-    sched_.post_after(period_, [this] { generate(); });
+    sched_.post_after(period_, [this] { generate(); }, EventCategory::kSource);
   }
 }
 

@@ -47,6 +47,11 @@ class StaticStreamingServer : public StreamServer {
   void set_flight_recorder(obs::FlightRecorder* recorder) override {
     flight_ = recorder;
   }
+  void set_telemetry(obs::TimeSeriesChannel* backlog,
+                     obs::TimeSeriesChannel* generated) override {
+    ts_backlog_ = backlog;
+    ts_generated_ = generated;
+  }
 
   // Path failure (fault injector): static streaming has NO graceful
   // degradation — that is the point of the baseline.  The packet-to-path
@@ -90,6 +95,8 @@ class StaticStreamingServer : public StreamServer {
   obs::Counter* m_generated_ = nullptr;
   std::vector<obs::Counter*> m_pulls_;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::TimeSeriesChannel* ts_backlog_ = nullptr;
+  obs::TimeSeriesChannel* ts_generated_ = nullptr;
 };
 
 }  // namespace dmp

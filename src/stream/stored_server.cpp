@@ -19,7 +19,7 @@ StoredStreamingServer::StoredStreamingServer(Scheduler& sched,
   // Prime every sender at `start` — the whole video is available then.
   sched_.post_at(start, [this] {
     for (std::size_t k = 0; k < senders_.size(); ++k) pull_into(k);
-  });
+  }, EventCategory::kSource);
 }
 
 void StoredStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
@@ -66,6 +66,12 @@ void StoredStreamingServer::pull_into(std::size_t k) {
       e.queue = total_ - next_number_ +
                 static_cast<std::int64_t>(redispatch_.size());
       flight_->record(e);
+    }
+    if (ts_generated_) ts_generated_->bump(sched_.now());
+    if (ts_backlog_) {
+      ts_backlog_->add(sched_.now(),
+                       static_cast<double>(total_ - next_number_) +
+                           static_cast<double>(redispatch_.size()));
     }
     senders_[k]->enqueue(number);
   }

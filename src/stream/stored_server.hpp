@@ -55,6 +55,14 @@ class StoredStreamingServer : public StreamServer {
   void set_flight_recorder(obs::FlightRecorder* recorder) override {
     flight_ = recorder;
   }
+  // `generated` is bumped once per dispatched packet (the stored file has
+  // no generation instant of its own); `backlog` samples remaining +
+  // redispatch at each dispatch.
+  void set_telemetry(obs::TimeSeriesChannel* backlog,
+                     obs::TimeSeriesChannel* generated) override {
+    ts_backlog_ = backlog;
+    ts_generated_ = generated;
+  }
 
   // Path failure: the dead sender's never-transmitted packet numbers move
   // to a redispatch queue served (in order, before fresh numbers) by the
@@ -85,6 +93,8 @@ class StoredStreamingServer : public StreamServer {
   std::vector<obs::Counter*> m_pulls_;
   obs::Counter* m_dispatched_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::TimeSeriesChannel* ts_backlog_ = nullptr;
+  obs::TimeSeriesChannel* ts_generated_ = nullptr;
 };
 
 }  // namespace dmp

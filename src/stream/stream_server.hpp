@@ -12,6 +12,7 @@
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/time_series.hpp"
 #include "util/sim_time.hpp"
 
 namespace dmp {
@@ -44,6 +45,12 @@ class StreamServer {
   // Per-pull / per-generate diagnostics.  Base-class no-ops: schemes opt in.
   virtual void set_event_log(obs::EventLog*) {}
   virtual void set_flight_recorder(obs::FlightRecorder*) {}
+  // Windowed telemetry (either may be null): `backlog` samples the
+  // scheme's undispatched-packet count (shared queue, summed private
+  // queues, or remaining file) at generation/dispatch instants;
+  // `generated` gets one bump per stream packet entering the system.
+  virtual void set_telemetry(obs::TimeSeriesChannel* /*backlog*/,
+                             obs::TimeSeriesChannel* /*generated*/) {}
 
   // Path-fault notifications from the fault injector (src/fault/): path k's
   // link just went down / came back up.  Base-class no-ops; schemes decide

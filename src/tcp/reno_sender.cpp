@@ -109,7 +109,7 @@ void RenoSender::transmit(const Packet& p) {
   SimTime when = sched_.now() + jitter;
   if (when <= last_emission_) when = last_emission_ + SimTime::nanos(1);
   last_emission_ = when;
-  sched_.post_at(when, [this, p] { out_(p); });
+  sched_.post_at(when, [this, p] { out_(p); }, EventCategory::kTcpSend);
 }
 
 SimTime RenoSender::current_rto() const {
@@ -124,7 +124,8 @@ SimTime RenoSender::current_rto() const {
 
 void RenoSender::arm_rto() {
   rtx_timer_.cancel();
-  rtx_timer_ = sched_.schedule_after(current_rto(), [this] { on_rto(); });
+  rtx_timer_ = sched_.schedule_after(current_rto(), [this] { on_rto(); },
+                                     EventCategory::kTcpTimer);
 }
 
 void RenoSender::rtt_sample(SimTime sample) {
@@ -175,6 +176,8 @@ void RenoSender::on_ack(const Packet& ack) {
     seen_ack_ = true;
     last_ack_at_ = sched_.now();
   }
+  if (ts_cwnd_) ts_cwnd_->add(sched_.now(), cwnd_);
+  if (ts_srtt_ && rtt_valid_) ts_srtt_->add(sched_.now(), srtt_s_);
   const std::int64_t ackno = std::min(ack.seq, snd_max_);
 
   if (ackno > snd_una_) {

@@ -16,6 +16,7 @@
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/time_series.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_config.hpp"
 #include "util/rng.hpp"
@@ -86,6 +87,14 @@ class RenoSender {
   void set_flight_recorder(obs::FlightRecorder* recorder) {
     flight_ = recorder;
   }
+  // Windowed telemetry (either may be null): cwnd and srtt sampled on
+  // every cumulative ACK — event-driven, so the windows catch the sawtooth
+  // a fixed-interval probe aliases over.
+  void set_telemetry(obs::TimeSeriesChannel* cwnd,
+                     obs::TimeSeriesChannel* srtt_s) {
+    ts_cwnd_ = cwnd;
+    ts_srtt_ = srtt_s;
+  }
 
  private:
   struct Segment {
@@ -151,6 +160,8 @@ class RenoSender {
   bool seen_ack_ = false;
   obs::EventLog* event_log_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::TimeSeriesChannel* ts_cwnd_ = nullptr;
+  obs::TimeSeriesChannel* ts_srtt_ = nullptr;
 };
 
 }  // namespace dmp

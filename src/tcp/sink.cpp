@@ -31,6 +31,10 @@ void TcpSink::record_flight(obs::FlightEventKind kind, std::int64_t app_tag,
 void TcpSink::on_data(const Packet& p) {
   ++segments_received_;
   if (m_received_) m_received_->inc();
+  if (ts_reorder_) {
+    ts_reorder_->add(sched_.now(),
+                     static_cast<double>(reorder_buffer_.size()));
+  }
   if (flight_ && p.app_tag >= 0) {
     record_flight(obs::FlightEventKind::kSinkRx, p.app_tag, p.seq);
   }
@@ -94,7 +98,7 @@ void TcpSink::schedule_delack() {
   delack_timer_.cancel();
   delack_timer_ = sched_.schedule_after(config_.delack_timeout, [this] {
     if (ack_pending_) send_ack();
-  });
+  }, EventCategory::kTcpTimer);
 }
 
 }  // namespace dmp

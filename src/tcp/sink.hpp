@@ -12,6 +12,7 @@
 #include "net/packet.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/time_series.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_config.hpp"
 
@@ -48,6 +49,12 @@ class TcpSink {
     flight_ = recorder;
   }
 
+  // Windowed reorder-buffer occupancy (head-of-line depth), sampled on
+  // every arrival.  May be null.
+  void set_telemetry(obs::TimeSeriesChannel* reorder_depth) {
+    ts_reorder_ = reorder_depth;
+  }
+
  private:
   void send_ack();
   void schedule_delack();
@@ -73,6 +80,7 @@ class TcpSink {
   obs::Counter* m_duplicates_ = nullptr;
   obs::Counter* m_out_of_order_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::TimeSeriesChannel* ts_reorder_ = nullptr;
 };
 
 }  // namespace dmp

@@ -1,0 +1,73 @@
+// timeline_export: flight-recorder trace (+ optional windowed-telemetry
+// CSV) -> Chrome trace-event JSON, loadable in ui.perfetto.dev or
+// chrome://tracing.
+//
+//   timeline_export <trace.jsonl> [--telemetry=CSV] [--out=FILE]
+//                   [--max-packets=N]
+//
+// Without --out the document goes to stdout.  Exit status: 0 on success,
+// 1 on bad usage, 2 on a malformed trace, 3 on a write failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/telemetry/timeline.hpp"
+#include "obs/trace_analyzer.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: timeline_export <trace.jsonl> [--telemetry=CSV] "
+               "[--out=FILE] [--max-packets=N]\n");
+}
+
+const char* parse_flag(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  dmp::obs::FlightRecorder recorder;
+  try {
+    recorder = dmp::obs::read_flight_trace_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const dmp::obs::TraceAnalyzer analyzer(recorder);
+
+  dmp::obs::TimelineOptions options;
+  if (const char* csv = parse_flag(argc, argv, "--telemetry")) {
+    options.telemetry_csv = csv;
+  }
+  if (const char* cap = parse_flag(argc, argv, "--max-packets")) {
+    options.max_packets = std::atoll(cap);
+  }
+
+  if (const char* out = parse_flag(argc, argv, "--out")) {
+    if (!dmp::obs::write_chrome_trace(analyzer, out, options)) {
+      std::fprintf(stderr, "error: failed to write %s\n", out);
+      return 3;
+    }
+    std::printf("wrote %s\n", out);
+    return 0;
+  }
+  const std::string json = dmp::obs::chrome_trace_json(analyzer, options);
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}

@@ -12,14 +12,23 @@
 //       every packet that needed more than one transmission
 //   trace_query causes <trace.jsonl> [--tau=SECONDS] [--limit=N]
 //       the late packets themselves with their dominant cause
+//   trace_query timeline <trace.jsonl> [--telemetry=CSV] [--out=FILE]
+//       [--max-packets=N]
+//       Chrome trace-event JSON (Perfetto-loadable) to FILE or stdout
+//   trace_query percentiles <sketches.jsonl> [--q=0.5,0.95,0.99]
+//       quantiles from a run's `*_sketches.jsonl` telemetry artifact
 //
 // Exit status: 0 on success, 1 on bad usage, 2 on a malformed trace.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "obs/telemetry/sketch.hpp"
+#include "obs/telemetry/timeline.hpp"
 #include "obs/trace_analyzer.hpp"
 
 namespace {
@@ -41,7 +50,11 @@ void usage() {
       "  packet  <trace> <number>           one packet's timeline\n"
       "  paths   <trace>                    per-path stats\n"
       "  rtx     <trace>                    retransmitted packets\n"
-      "  causes  <trace> [--tau=S] [--limit=N]  late packets with causes\n");
+      "  causes  <trace> [--tau=S] [--limit=N]  late packets with causes\n"
+      "  timeline <trace> [--telemetry=CSV] [--out=FILE] [--max-packets=N]\n"
+      "                                     Perfetto trace-event JSON\n"
+      "  percentiles <sketches.jsonl> [--q=0.5,0.95,0.99]\n"
+      "                                     sketch quantiles\n");
 }
 
 double parse_flag(int argc, char** argv, const char* name, double fallback) {
@@ -52,6 +65,16 @@ double parse_flag(int argc, char** argv, const char* name, double fallback) {
     }
   }
   return fallback;
+}
+
+const char* parse_str_flag(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
 }
 
 // Station timestamps are absolute recorder-clock ns; print them relative
@@ -193,6 +216,90 @@ int cmd_causes(const TraceAnalyzer& az, double tau_s, std::int64_t limit) {
   return 0;
 }
 
+int cmd_timeline(const TraceAnalyzer& az, int argc, char** argv) {
+  dmp::obs::TimelineOptions options;
+  if (const char* csv = parse_str_flag(argc, argv, "--telemetry")) {
+    options.telemetry_csv = csv;
+  }
+  options.max_packets = static_cast<std::int64_t>(
+      parse_flag(argc, argv, "--max-packets", -1.0));
+  if (const char* out = parse_str_flag(argc, argv, "--out")) {
+    if (!dmp::obs::write_chrome_trace(az, out, options)) {
+      std::fprintf(stderr, "error: failed to write %s\n", out);
+      return 2;
+    }
+    std::printf("wrote %s\n", out);
+    return 0;
+  }
+  const std::string json = dmp::obs::chrome_trace_json(az, options);
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+// `percentiles` reads a `*_sketches.jsonl` artifact, not a flight trace —
+// dispatched before the trace load in main().
+int cmd_percentiles(const char* path, int argc, char** argv) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path);
+    return 2;
+  }
+  std::vector<double> qs{0.5, 0.95, 0.99};
+  if (const char* spec = parse_str_flag(argc, argv, "--q")) {
+    qs.clear();
+    for (const char* p = spec; *p != '\0';) {
+      char* end = nullptr;
+      const double q = std::strtod(p, &end);
+      if (end == p) break;
+      qs.push_back(q);
+      p = *end == ',' ? end + 1 : end;
+    }
+    if (qs.empty()) {
+      std::fprintf(stderr, "error: --q needs a comma-separated list\n");
+      return 1;
+    }
+  }
+  std::printf("%-28s %10s", "sketch", "count");
+  for (double q : qs) {
+    char label[16];
+    std::snprintf(label, sizeof label, "p%g", q);
+    std::printf(" %11s", label);
+  }
+  std::printf("\n");
+  std::string line;
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string name = "?";
+    const auto pos = line.find("\"name\":\"");
+    if (pos != std::string::npos) {
+      const auto start = pos + 8;
+      const auto end = line.find('"', start);
+      if (end != std::string::npos) name = line.substr(start, end - start);
+    }
+    try {
+      const auto sketch = dmp::obs::QuantileSketch::from_json(line);
+      std::printf("%-28s %10llu", name.c_str(),
+                  static_cast<unsigned long long>(sketch.count()));
+      for (double q : qs) {
+        if (sketch.count() == 0) {
+          std::printf(" %11s", "-");
+        } else {
+          std::printf(" %11.6g", sketch.quantile(q));
+        }
+      }
+      std::printf("\n");
+      any = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: bad sketch line: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!any) std::fprintf(stderr, "(no sketches in %s)\n", path);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,6 +308,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "percentiles") return cmd_percentiles(argv[2], argc, argv);
   FlightRecorder recorder;
   try {
     recorder = dmp::obs::read_flight_trace_file(argv[2]);
@@ -221,6 +329,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "paths") return cmd_paths(az);
   if (cmd == "rtx") return cmd_rtx(az);
+  if (cmd == "timeline") return cmd_timeline(az, argc, argv);
   if (cmd == "causes") {
     const auto limit = static_cast<std::int64_t>(
         parse_flag(argc, argv, "--limit", 50.0));
