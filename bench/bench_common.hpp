@@ -166,3 +166,36 @@ inline std::string fmt_ci(const std::vector<double>& samples) {
 }
 
 }  // namespace dmp::bench
+
+// google-benchmark helpers shared by the perf_* guards.  Gated on
+// DMP_BENCH_HAVE_BENCHMARK (set only on those targets) so the figure
+// benches, which do not depend on google-benchmark, keep compiling this
+// header unchanged.
+#if defined(DMP_BENCH_HAVE_BENCHMARK)
+#include <benchmark/benchmark.h>
+
+namespace dmp::bench {
+
+// items/s reporting for a fixed per-iteration work count — the shape
+// bench_guard.py rates (items_per_second) across revisions.
+inline void set_items_per_iteration(benchmark::State& state,
+                                    std::int64_t items) {
+  state.SetItemsProcessed(state.iterations() * items);
+}
+
+// One packet-level-session arm: run the session every iteration and report
+// executed DES events as items, so items/s is an event rate comparable
+// across arms (e.g. telemetry off vs on).
+inline void run_session_arm(benchmark::State& state,
+                            const SessionConfig& config) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = run_session(config);
+    benchmark::DoNotOptimize(result.packets_generated);
+    events += result.events_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+}  // namespace dmp::bench
+#endif  // DMP_BENCH_HAVE_BENCHMARK

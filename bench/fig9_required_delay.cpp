@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "exp/report.hpp"
+#include "obs/divergence/divergence.hpp"
 #include "param_space.hpp"
 
 using namespace dmp;
@@ -110,6 +112,38 @@ int main() {
 
   std::printf("\nexpected shape (paper): required tau ~ 10 s across panel "
               "(a) and most of (b); larger for R=300ms with p=0.04\n");
+
+  // Divergence series: at the returned tau the late fraction must not
+  // exceed the 1e-4 target — one-sided, since any undershoot is the
+  // search doing its job.  Infeasible points (ceiling hit) are recorded
+  // with their ceiling-tau estimate but judged one-sided all the same;
+  // omitted points never enter the series.
+  obs::DivergenceSeries divergence;
+  divergence.name = "fig9";
+  divergence.metric = "late_fraction_at_tau";
+  divergence.x_label = "tau_s";
+  divergence.tolerance.one_sided = true;
+  divergence.tolerance.abs = 0.0;
+  divergence.tolerance.within_ci = false;
+  const double target = RequiredDelayOptions{}.target_late_fraction;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (rows[i].omitted || !rows[i].result.feasible) continue;
+    char label[64];
+    std::snprintf(label, sizeof label, "%c/p%.3f/mu%.0f", points[i].panel,
+                  points[i].p, points[i].mu);
+    divergence.add(label, rows[i].result.tau_s, target,
+                   rows[i].result.late_at_tau);
+  }
+  const auto dstats = divergence.stats();
+  std::printf("divergence: %zu feasible point(s), %zu exceed the %.0e "
+              "target at their returned tau\n",
+              dstats.count, dstats.diverged, target);
+  const std::string divergence_path =
+      bench_output_dir() + "/DIVERGENCE_fig9.json";
+  if (obs::write_divergence_json({divergence}, divergence_path)) {
+    std::printf("divergence: %s\n", divergence_path.c_str());
+    exp::evaluate_slo_env(divergence_path);
+  }
   std::printf("CSV: %s/fig9_required_delay.csv\n", bench_output_dir().c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "model/composed_chain.hpp"
+#include "obs/divergence/divergence.hpp"
 
 namespace dmp::bench {
 
@@ -85,7 +86,7 @@ inline void run_validation_figure(const ValidationSetting& setting,
           curve_taus[i], result.packets_generated));
     }
   };
-  const auto report = exp::ExperimentRunner(options.threads).run(plan, consume);
+  auto report = exp::ExperimentRunner(options.threads).run(plan, consume);
 
   // --- model curve (backlogged-probe parameters; see DESIGN.md) ---
   const auto model_base =
@@ -109,6 +110,16 @@ inline void run_validation_figure(const ValidationSetting& setting,
       1.0 / (setting.mu_pps * options.duration_s *
              static_cast<double>(options.runs));
   const auto mc_seeds = exp::mc_stream(options.seed);
+  // Divergence series: the paper's Section-5 match criterion as a
+  // recorded tolerance — within the sim's 95% CI, within the sim
+  // resolution floor, or within a decade of the simulated mean.
+  obs::DivergenceSeries divergence;
+  divergence.name = figure_name;
+  divergence.metric = "late_fraction_playback";
+  divergence.x_label = "tau_s";
+  divergence.tolerance.abs = sim_resolution;
+  divergence.tolerance.ratio = 10.0;
+  divergence.tolerance.within_ci = true;
   for (std::size_t i = 0; i < curve_taus.size(); ++i) {
     ComposedParams params = model_base;
     params.tau_s = curve_taus[i];
@@ -127,9 +138,19 @@ inline void run_validation_figure(const ValidationSetting& setting,
     curve_csv.row({setting.name, CsvWriter::num(curve_taus[i]),
                    CsvWriter::num(ci.mean), CsvWriter::num(ci.half_width),
                    CsvWriter::num(model.late_fraction)});
+    divergence.add(setting.name, curve_taus[i], model.late_fraction, ci.mean,
+                   ci.half_width);
   }
   std::printf("\nmatch criterion (paper): model within sim CI, or "
               "0.1 < fm/fs < 10\n");
+  const auto dstats = divergence.stats();
+  std::printf("divergence: %zu point(s), %zu diverged, rms=%.3g "
+              "max|r|=%.3g at %s tau=%g (tol: |r| <= %.3g, CI, or "
+              "ratio <= 10)\n",
+              dstats.count, dstats.diverged, dstats.rms_residual,
+              dstats.max_abs_residual, dstats.worst_setting.c_str(),
+              dstats.worst_x, sim_resolution);
+  report.divergence.push_back(std::move(divergence));
   const std::string json = report.write_json();
   std::printf("CSV: %s/%s{a,b}_*.csv\nreport: %s (%.1f s wall)\n",
               bench_output_dir().c_str(), figure_name.c_str(), json.c_str(),

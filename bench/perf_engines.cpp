@@ -4,6 +4,8 @@
 // reproduction pipeline's cost visible and regressions detectable.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "apps/background.hpp"
 #include "model/chain_cache.hpp"
 #include "model/composed_chain.hpp"
@@ -38,25 +40,19 @@ void BM_SchedulerEventChurn(benchmark::State& state) {
     sched.run();
     benchmark::DoNotOptimize(count);
   }
-  state.SetItemsProcessed(state.iterations() * 10000);
+  bench::set_items_per_iteration(state, 10000);
 }
 BENCHMARK(BM_SchedulerEventChurn);
 
 void BM_PacketLevelSession(benchmark::State& state) {
-  for (auto _ : state) {
-    SessionConfig config;
-    config.path_configs = {table1_config(4), table1_config(4)};
-    config.mu_pps = 50.0;
-    config.duration_s = 30.0;
-    config.warmup_s = 5.0;
-    config.drain_s = 5.0;
-    config.seed = 11;
-    const auto result = run_session(config);
-    benchmark::DoNotOptimize(result.events_executed);
-    state.counters["events_per_s"] = benchmark::Counter(
-        static_cast<double>(result.events_executed),
-        benchmark::Counter::kIsIterationInvariantRate);
-  }
+  SessionConfig config;
+  config.path_configs = {table1_config(4), table1_config(4)};
+  config.mu_pps = 50.0;
+  config.duration_s = 30.0;
+  config.warmup_s = 5.0;
+  config.drain_s = 5.0;
+  config.seed = 11;
+  bench::run_session_arm(state, config);
 }
 BENCHMARK(BM_PacketLevelSession)->Unit(benchmark::kMillisecond);
 
@@ -84,7 +80,7 @@ void BM_ComposedMonteCarlo(benchmark::State& state) {
     const auto result = mc.run(200'000, 20'000);
     benchmark::DoNotOptimize(result.late_fraction);
   }
-  state.SetItemsProcessed(state.iterations() * 200'000);
+  bench::set_items_per_iteration(state, 200'000);
 }
 BENCHMARK(BM_ComposedMonteCarlo)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
@@ -98,7 +94,7 @@ void BM_ComposedMonteCarloCompat(benchmark::State& state) {
     const auto result = mc.run(200'000, 20'000);
     benchmark::DoNotOptimize(result.late_fraction);
   }
-  state.SetItemsProcessed(state.iterations() * 200'000);
+  bench::set_items_per_iteration(state, 200'000);
 }
 BENCHMARK(BM_ComposedMonteCarloCompat)->Unit(benchmark::kMillisecond);
 
@@ -111,7 +107,7 @@ void BM_ComposedMonteCarloSharded(benchmark::State& state) {
     const auto result = mc.run_sharded(8, 200'000);
     benchmark::DoNotOptimize(result.late_fraction);
   }
-  state.SetItemsProcessed(state.iterations() * 8 * 200'000);
+  bench::set_items_per_iteration(state, 8 * 200'000);
 }
 BENCHMARK(BM_ComposedMonteCarloSharded)->Unit(benchmark::kMillisecond);
 
@@ -126,7 +122,8 @@ void BM_StoredVideoMonteCarlo(benchmark::State& state) {
         params, kVideoPackets, kReps, 7, SamplerMode::kAlias);
     benchmark::DoNotOptimize(result.late_fraction);
   }
-  state.SetItemsProcessed(state.iterations() * kReps * kVideoPackets);
+  bench::set_items_per_iteration(
+      state, static_cast<std::int64_t>(kReps) * kVideoPackets);
 }
 BENCHMARK(BM_StoredVideoMonteCarlo)->Unit(benchmark::kMillisecond);
 

@@ -9,7 +9,7 @@
 // points themselves, not the end-of-run CSV flush.
 #include <benchmark/benchmark.h>
 
-#include <cstdint>
+#include "bench_common.hpp"
 
 #include "apps/background.hpp"
 #include "stream/session.hpp"
@@ -31,25 +31,15 @@ SessionConfig overhead_config() {
   return config;
 }
 
-void run_arm(benchmark::State& state, const SessionConfig& config) {
-  std::uint64_t events = 0;
-  for (auto _ : state) {
-    const auto result = run_session(config);
-    benchmark::DoNotOptimize(result.packets_generated);
-    events += result.events_executed;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(events));
-}
-
 void BM_SessionTelemetryOff(benchmark::State& state) {
-  run_arm(state, overhead_config());
+  bench::run_session_arm(state, overhead_config());
 }
 BENCHMARK(BM_SessionTelemetryOff)->Unit(benchmark::kMillisecond);
 
 void BM_SessionTelemetryOn(benchmark::State& state) {
   SessionConfig config = overhead_config();
   config.telemetry.enabled = true;
-  run_arm(state, config);
+  bench::run_session_arm(state, config);
 }
 BENCHMARK(BM_SessionTelemetryOn)->Unit(benchmark::kMillisecond);
 
@@ -58,7 +48,7 @@ BENCHMARK(BM_SessionTelemetryOn)->Unit(benchmark::kMillisecond);
 void BM_SessionProfilerOn(benchmark::State& state) {
   SessionConfig config = overhead_config();
   config.profile = true;
-  run_arm(state, config);
+  bench::run_session_arm(state, config);
 }
 BENCHMARK(BM_SessionProfilerOn)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Bench-history ledger: per-revision metric trends with regression flags.
+
+Appends one JSONL entry per invocation, extracted from bench artifacts:
+
+  * google-benchmark --benchmark_out JSON: items_per_second of every
+    non-aggregate benchmark, keyed "<file-stem>/<benchmark name>";
+  * experiment reports (BENCH_*.json with a "timing" block): wall_s,
+    keyed "<file-stem>/wall_s".
+
+`check` compares the newest entry against the median of a trailing window
+of earlier entries and flags any rate that dropped (or wall time that
+rose) by more than the threshold.  The ledger is an append-only trend
+file — CI caches it across runs and uploads it as an artifact, so "when
+did BM_ComposedMonteCarlo lose 20%" is a one-file question.
+
+Usage:
+  bench_history.py append LEDGER [--commit SHA] [--label TEXT] ARTIFACT...
+  bench_history.py check  LEDGER [--window N] [--threshold PCT] [--strict]
+  bench_history.py show   LEDGER [--metric KEY] [--last N]
+
+Exit status: 0 ok (check: regressions only fail with --strict), 1
+regression under --strict, 2 unusable ledger/artifact.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import statistics
+import sys
+
+
+def eprint(*args):
+    print(*args, file=sys.stderr)
+
+
+def artifact_metrics(path):
+    """Extracts {metric_key: value} from one artifact; {} if none apply."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    metrics = {}
+    if isinstance(doc, dict) and isinstance(doc.get("benchmarks"), list):
+        for bench in doc["benchmarks"]:
+            # Skip repetition aggregates (mean/median/stddev rows).
+            if bench.get("run_type") == "aggregate":
+                continue
+            rate = bench.get("items_per_second")
+            if isinstance(rate, (int, float)):
+                metrics[f"{stem}/{bench['name']}"] = float(rate)
+    if isinstance(doc, dict) and isinstance(doc.get("timing"), dict):
+        wall = doc["timing"].get("wall_s")
+        if isinstance(wall, (int, float)):
+            metrics[f"{stem}/wall_s"] = float(wall)
+    return metrics
+
+
+def read_ledger(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(
+                    f"error: {path}:{lineno}: malformed ledger line: {err}")
+    return entries
+
+
+def cmd_append(args):
+    metrics = {}
+    for artifact in args.artifacts:
+        try:
+            found = artifact_metrics(artifact)
+        except (OSError, json.JSONDecodeError, KeyError) as err:
+            eprint(f"error: cannot read {artifact}: {err}")
+            return 2
+        if not found:
+            eprint(f"warning: no known metrics in {artifact} (skipped)")
+        metrics.update(found)
+    if not metrics:
+        eprint("error: no metrics extracted from any artifact")
+        return 2
+    entry = {
+        "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+        "commit": args.commit,
+        "label": args.label,
+        "metrics": metrics,
+    }
+    with open(args.ledger, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"appended {len(metrics)} metric(s) to {args.ledger} "
+          f"({len(read_ledger(args.ledger))} entries total)")
+    return 0
+
+
+def is_rate(key):
+    """wall_s trends down-is-good; everything else (items/s) up-is-good."""
+    return not key.endswith("/wall_s")
+
+
+def cmd_check(args):
+    entries = read_ledger(args.ledger)
+    if len(entries) < 2:
+        print(f"{args.ledger}: {len(entries)} entries — nothing to compare")
+        return 0
+    latest = entries[-1]
+    window = entries[-(args.window + 1):-1]
+    regressions = []
+    for key, value in sorted(latest.get("metrics", {}).items()):
+        history = [e["metrics"][key] for e in window
+                   if key in e.get("metrics", {})]
+        if not history:
+            print(f"  new    {key}: {value:.6g} (no history)")
+            continue
+        baseline = statistics.median(history)
+        if baseline == 0:
+            continue
+        change = (value - baseline) / baseline * 100.0
+        bad = (change < -args.threshold if is_rate(key)
+               else change > args.threshold)
+        marker = "REGRESS" if bad else "ok"
+        print(f"  {marker:8s}{key}: {value:.6g} vs median {baseline:.6g} "
+              f"over {len(history)} ({change:+.1f}%)")
+        if bad:
+            regressions.append(key)
+    if regressions:
+        eprint(f"{len(regressions)} regression(s) beyond "
+               f"{args.threshold:.0f}% of the trailing-{args.window} median")
+        return 1 if args.strict else 0
+    print("no regressions")
+    return 0
+
+
+def cmd_show(args):
+    entries = read_ledger(args.ledger)
+    for entry in entries[-args.last:]:
+        metrics = entry.get("metrics", {})
+        if args.metric:
+            metrics = {k: v for k, v in metrics.items() if args.metric in k}
+            if not metrics:
+                continue
+        tag = entry.get("commit") or entry.get("label") or "-"
+        print(f"{entry.get('ts', '-')} {tag}")
+        for key, value in sorted(metrics.items()):
+            print(f"    {key}: {value:.6g}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="extract metrics and append")
+    p_append.add_argument("ledger")
+    p_append.add_argument("artifacts", nargs="+")
+    p_append.add_argument("--commit", default="")
+    p_append.add_argument("--label", default="")
+    p_append.set_defaults(func=cmd_append)
+
+    p_check = sub.add_parser("check", help="flag regressions vs trailing window")
+    p_check.add_argument("ledger")
+    p_check.add_argument("--window", type=int, default=5,
+                         help="trailing entries to median over (default 5)")
+    p_check.add_argument("--threshold", type=float, default=25.0,
+                         help="flag changes beyond this percent (default 25)")
+    p_check.add_argument("--strict", action="store_true",
+                         help="exit 1 on regressions (default: report only)")
+    p_check.set_defaults(func=cmd_check)
+
+    p_show = sub.add_parser("show", help="print recent ledger entries")
+    p_show.add_argument("ledger")
+    p_show.add_argument("--metric", default="",
+                        help="substring filter on metric keys")
+    p_show.add_argument("--last", type=int, default=10)
+    p_show.set_defaults(func=cmd_show)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

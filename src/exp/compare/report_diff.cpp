@@ -1,0 +1,179 @@
+#include "exp/compare/report_diff.hpp"
+
+#include <cmath>
+#include <cctype>
+
+namespace dmp::exp {
+
+namespace {
+
+class Differ {
+ public:
+  Differ(const DiffOptions& options, DiffResult& out)
+      : options_(options), out_(out) {}
+
+  void walk(const std::string& path, const JsonValue& l, const JsonValue& r) {
+    if (ignored(path)) return;
+    if (l.kind != r.kind) {
+      record(path, DiffClass::kTypeMismatch, l.brief(), r.brief(), 0.0);
+      return;
+    }
+    switch (l.kind) {
+      case JsonValue::Kind::kObject: walk_object(path, l, r); return;
+      case JsonValue::Kind::kArray: walk_array(path, l, r); return;
+      case JsonValue::Kind::kNull:
+        leaf_identical();
+        return;
+      case JsonValue::Kind::kBool:
+        if (l.boolean == r.boolean) leaf_identical();
+        else record(path, DiffClass::kDiverged, l.brief(), r.brief(), 0.0);
+        return;
+      case JsonValue::Kind::kString:
+        if (l.text == r.text) leaf_identical();
+        else record(path, DiffClass::kDiverged, l.brief(), r.brief(), 0.0);
+        return;
+      case JsonValue::Kind::kNumber: {
+        if (l.text == r.text || l.number == r.number) {
+          leaf_identical();
+          return;
+        }
+        const double delta = std::fabs(l.number - r.number);
+        const double scale =
+            std::max(std::fabs(l.number), std::fabs(r.number));
+        if (delta <= options_.abs_tol + options_.rel_tol * scale) {
+          ++out_.fields_compared;
+          ++out_.within_tolerance;
+          out_.diffs.push_back(
+              {path, DiffClass::kWithinTolerance, l.brief(), r.brief(), delta});
+          return;
+        }
+        record(path, DiffClass::kDiverged, l.brief(), r.brief(), delta);
+        return;
+      }
+    }
+  }
+
+ private:
+  bool ignored(const std::string& path) const {
+    for (const auto& prefix : options_.ignore) {
+      if (path == prefix ||
+          (path.size() > prefix.size() &&
+           path.compare(0, prefix.size(), prefix) == 0 &&
+           path[prefix.size()] == '.')) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void leaf_identical() {
+    ++out_.fields_compared;
+    ++out_.identical;
+  }
+
+  void record(const std::string& path, DiffClass cls, std::string left,
+              std::string right, double delta) {
+    if (cls != DiffClass::kOnlyLeft && cls != DiffClass::kOnlyRight) {
+      ++out_.fields_compared;
+    }
+    out_.diffs.push_back({path, cls, std::move(left), std::move(right), delta});
+  }
+
+  void walk_object(const std::string& path, const JsonValue& l,
+                   const JsonValue& r) {
+    for (const auto& [key, lv] : l.object) {
+      const std::string child = path.empty() ? key : path + "." + key;
+      const JsonValue* rv = r.find(key);
+      if (rv == nullptr) {
+        if (!ignored(child)) {
+          record(child, DiffClass::kOnlyLeft, lv.brief(), "", 0.0);
+        }
+        continue;
+      }
+      walk(child, lv, *rv);
+    }
+    for (const auto& [key, rv] : r.object) {
+      if (l.find(key) != nullptr) continue;
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (!ignored(child)) {
+        record(child, DiffClass::kOnlyRight, "", rv.brief(), 0.0);
+      }
+    }
+  }
+
+  // A "name"d array element is addressed by that name; anything else by
+  // index.  Elements are still compared positionally — reports are
+  // deterministic, so ordering IS part of the contract — the name only
+  // improves the path rendering.
+  static std::string element_label(const JsonValue& elem, std::size_t index) {
+    const JsonValue* name = elem.find("name");
+    if (name != nullptr && name->kind == JsonValue::Kind::kString &&
+        !name->text.empty() && name->text.find('.') == std::string::npos) {
+      return name->text;
+    }
+    return std::to_string(index);
+  }
+
+  void walk_array(const std::string& path, const JsonValue& l,
+                  const JsonValue& r) {
+    const std::size_t common = std::min(l.array.size(), r.array.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      const std::string child =
+          path + "." + element_label(l.array[i], i);
+      walk(child, l.array[i], r.array[i]);
+    }
+    for (std::size_t i = common; i < l.array.size(); ++i) {
+      const std::string child = path + "." + element_label(l.array[i], i);
+      if (!ignored(child)) {
+        record(child, DiffClass::kOnlyLeft, l.array[i].brief(), "", 0.0);
+      }
+    }
+    for (std::size_t i = common; i < r.array.size(); ++i) {
+      const std::string child = path + "." + element_label(r.array[i], i);
+      if (!ignored(child)) {
+        record(child, DiffClass::kOnlyRight, "", r.array[i].brief(), 0.0);
+      }
+    }
+  }
+
+  const DiffOptions& options_;
+  DiffResult& out_;
+};
+
+}  // namespace
+
+std::string_view diff_class_name(DiffClass c) {
+  switch (c) {
+    case DiffClass::kIdentical: return "identical";
+    case DiffClass::kWithinTolerance: return "within-tol";
+    case DiffClass::kDiverged: return "DIVERGED";
+    case DiffClass::kOnlyLeft: return "only-left";
+    case DiffClass::kOnlyRight: return "only-right";
+    case DiffClass::kTypeMismatch: return "type-mismatch";
+  }
+  return "?";
+}
+
+bool DiffResult::clean() const {
+  for (const auto& d : diffs) {
+    if (d.cls != DiffClass::kWithinTolerance) return false;
+  }
+  return true;
+}
+
+std::size_t DiffResult::diverged() const {
+  std::size_t n = 0;
+  for (const auto& d : diffs) {
+    if (d.cls != DiffClass::kWithinTolerance) ++n;
+  }
+  return n;
+}
+
+DiffResult diff_reports(const JsonValue& left, const JsonValue& right,
+                        const DiffOptions& options) {
+  DiffResult result;
+  Differ{options, result}.walk("", left, right);
+  return result;
+}
+
+}  // namespace dmp::exp

@@ -1,0 +1,195 @@
+#include "exp/compare/slo.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmp::exp {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument{"slo: line " + std::to_string(line) + ": " +
+                              message};
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+bool compare_numbers(double actual, SloOp op, double expected) {
+  switch (op) {
+    case SloOp::kLt: return actual < expected;
+    case SloOp::kLe: return actual <= expected;
+    case SloOp::kGt: return actual > expected;
+    case SloOp::kGe: return actual >= expected;
+    case SloOp::kEq: return actual == expected;
+    case SloOp::kNe: return actual != expected;
+  }
+  return false;
+}
+
+SloRule parse_rule(const std::string& text, int line) {
+  // Find the operator: the first of < <= > >= == != outside the path.
+  // Paths never contain comparison characters, so a plain scan works.
+  SloRule rule;
+  rule.line = line;
+  std::size_t op_at = std::string::npos;
+  std::size_t op_len = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '<' && c != '>' && c != '=' && c != '!') continue;
+    op_at = i;
+    op_len = (i + 1 < text.size() && text[i + 1] == '=') ? 2 : 1;
+    break;
+  }
+  if (op_at == std::string::npos) fail(line, "no comparison operator");
+  const std::string op_text = text.substr(op_at, op_len);
+  if (op_text == "<") rule.op = SloOp::kLt;
+  else if (op_text == "<=") rule.op = SloOp::kLe;
+  else if (op_text == ">") rule.op = SloOp::kGt;
+  else if (op_text == ">=") rule.op = SloOp::kGe;
+  else if (op_text == "==") rule.op = SloOp::kEq;
+  else if (op_text == "!=") rule.op = SloOp::kNe;
+  else fail(line, "bad operator '" + op_text + "'");
+
+  rule.path = trim(text.substr(0, op_at));
+  if (rule.path.empty()) fail(line, "empty field path");
+  const std::string value = trim(text.substr(op_at + op_len));
+  if (value.empty()) fail(line, "empty expected value");
+
+  if (value == "true" || value == "false") {
+    if (rule.op != SloOp::kEq && rule.op != SloOp::kNe) {
+      fail(line, "booleans only support == and !=");
+    }
+    rule.value_kind = SloRule::ValueKind::kBool;
+    rule.boolean = value == "true";
+    return rule;
+  }
+  if (value.size() >= 2 && value.front() == '\'' && value.back() == '\'') {
+    if (rule.op != SloOp::kEq && rule.op != SloOp::kNe) {
+      fail(line, "strings only support == and !=");
+    }
+    rule.value_kind = SloRule::ValueKind::kString;
+    rule.text = value.substr(1, value.size() - 2);
+    return rule;
+  }
+  char* end = nullptr;
+  rule.number = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !std::isfinite(rule.number)) {
+    fail(line, "'" + value + "' is not a number, boolean or 'string'");
+  }
+  rule.value_kind = SloRule::ValueKind::kNumber;
+  return rule;
+}
+
+}  // namespace
+
+std::string_view slo_op_name(SloOp op) {
+  switch (op) {
+    case SloOp::kLt: return "<";
+    case SloOp::kLe: return "<=";
+    case SloOp::kGt: return ">";
+    case SloOp::kGe: return ">=";
+    case SloOp::kEq: return "==";
+    case SloOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+std::string SloRule::to_string() const {
+  std::string out = path + " " + std::string(slo_op_name(op)) + " ";
+  switch (value_kind) {
+    case ValueKind::kNumber: {
+      // Display form: %g keeps "0.05" reading as 0.05 (the comparison
+      // itself uses the parsed double, not this rendering).
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", number);
+      out += buf;
+      break;
+    }
+    case ValueKind::kBool: out += boolean ? "true" : "false"; break;
+    case ValueKind::kString: out += "'" + text + "'"; break;
+  }
+  return out;
+}
+
+SloSpec SloSpec::parse(const std::string& body) {
+  SloSpec spec;
+  std::istringstream in(body);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    spec.rules.push_back(parse_rule(line, line_no));
+  }
+  return spec;
+}
+
+SloSpec SloSpec::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument{"slo: cannot open " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+SloReport evaluate_slo(const SloSpec& spec,
+                       const std::vector<const JsonValue*>& documents) {
+  SloReport report;
+  for (const auto& rule : spec.rules) {
+    SloRuleResult r;
+    r.rule = rule;
+    const JsonValue* field = nullptr;
+    for (const JsonValue* doc : documents) {
+      if (doc == nullptr) continue;
+      field = resolve_path(*doc, rule.path);
+      if (field != nullptr) break;
+    }
+    if (field == nullptr) {
+      r.passed = false;
+      r.actual = "<missing>";
+      r.message = "FAIL " + rule.to_string() + "  (field not found in any document)";
+    } else {
+      r.actual = field->brief();
+      switch (rule.value_kind) {
+        case SloRule::ValueKind::kNumber:
+          if (field->kind != JsonValue::Kind::kNumber) {
+            r.passed = false;
+          } else {
+            r.passed = compare_numbers(field->number, rule.op, rule.number);
+          }
+          break;
+        case SloRule::ValueKind::kBool:
+          r.passed = field->kind == JsonValue::Kind::kBool &&
+                     compare_numbers(field->boolean ? 1.0 : 0.0, rule.op,
+                                     rule.boolean ? 1.0 : 0.0);
+          break;
+        case SloRule::ValueKind::kString:
+          r.passed = field->kind == JsonValue::Kind::kString &&
+                     compare_numbers(field->text == rule.text ? 0.0 : 1.0,
+                                     rule.op == SloOp::kEq ? SloOp::kEq
+                                                           : SloOp::kNe,
+                                     0.0);
+          break;
+      }
+      r.message = std::string(r.passed ? "ok   " : "FAIL ") +
+                  rule.to_string() + "  (actual: " + r.actual + ")";
+    }
+    if (!r.passed) ++report.violations;
+    report.results.push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace dmp::exp

@@ -1,0 +1,85 @@
+// Declarative SLO / expectation specs over report fields.
+//
+// A .slo file is a list of assertions on any field of a report document
+// (BENCH_*.json, DIVERGENCE_*.json, an obs run report — anything JSON):
+//
+//   # comments and blank lines are ignored
+//   report.experiment == 'fig4'
+//   report.settings.2-2.metrics.f_tau10.mean < 0.05
+//   report.divergence.fig4.stats.diverged == 0
+//   timing.threads >= 1
+//
+//   rule  := path op value
+//   op    := < | <= | > | >= | == | !=
+//   value := number | true | false | 'string'
+//   path  := dotted field path (json.hpp resolve_path semantics: object
+//            keys, array indices, or "name"-matched array elements)
+//
+// Parsing is strict — parse-or-throw, like fault::FaultPlan: an unknown
+// operator, a malformed number, an empty path all throw
+// std::invalid_argument naming the offending line, because a silently
+// dropped assertion turns a gated experiment into an ungated one.
+//
+// Evaluation takes one or more documents (CI evaluates fig4's BENCH
+// report and fig9's DIVERGENCE artifact against a single ci.slo): each
+// rule resolves its path against the documents in order and judges the
+// first hit; a path found in no document is a violation, not a skip.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/compare/json.hpp"
+
+namespace dmp::exp {
+
+enum class SloOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string_view slo_op_name(SloOp op);
+
+struct SloRule {
+  std::string path;
+  SloOp op = SloOp::kLt;
+  // Exactly one of these shapes applies, chosen at parse time.
+  enum class ValueKind { kNumber, kBool, kString } value_kind = ValueKind::kNumber;
+  double number = 0.0;
+  bool boolean = false;
+  std::string text;
+  int line = 0;  // 1-based spec line, for messages
+
+  std::string to_string() const;  // canonical "path op value"
+};
+
+struct SloSpec {
+  std::vector<SloRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  // Parses a spec body.  Throws std::invalid_argument on any malformed
+  // rule, naming its line.
+  static SloSpec parse(const std::string& body);
+  // Reads and parses a file; throws std::invalid_argument (unreadable or
+  // malformed).  An existing-but-empty spec is valid and passes trivially.
+  static SloSpec parse_file(const std::string& path);
+};
+
+struct SloRuleResult {
+  SloRule rule;
+  bool passed = false;
+  std::string actual;   // brief() of the resolved field, or "<missing>"
+  std::string message;  // human-readable verdict line
+};
+
+struct SloReport {
+  std::vector<SloRuleResult> results;
+  std::size_t violations = 0;
+  bool ok() const { return violations == 0; }
+};
+
+// Evaluates every rule against the documents (first document that
+// resolves the rule's path wins).
+SloReport evaluate_slo(const SloSpec& spec,
+                       const std::vector<const JsonValue*>& documents);
+
+}  // namespace dmp::exp

@@ -1,5 +1,6 @@
 #include "exp/options.hpp"
 
+#include "exp/compare/slo.hpp"
 #include "fault/fault_plan.hpp"
 
 #include <cerrno>
@@ -26,7 +27,7 @@ const char* const kKnownVars[] = {
     "DMP_TRACE",          "DMP_OUT_DIR",         "DMP_FIG7_DURATION_S",
     "DMP_TABLE1_PROBE_S", "DMP_FAULTS",          "DMP_SANITIZE",
     "DMP_CHECK_BUILD_DIR", "DMP_TELEMETRY",      "DMP_TELEMETRY_WINDOW_S",
-    "DMP_PROFILE",
+    "DMP_PROFILE",        "DMP_SLO",
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -79,7 +80,7 @@ void reject_unknown_vars() {
            "DMP_MC_MIN DMP_MC_MAX DMP_THREADS DMP_OBS DMP_OBS_PROBE_S "
            "DMP_MODEL_SHARDS DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S "
            "DMP_TABLE1_PROBE_S DMP_FAULTS DMP_TELEMETRY "
-           "DMP_TELEMETRY_WINDOW_S DMP_PROFILE)");
+           "DMP_TELEMETRY_WINDOW_S DMP_PROFILE DMP_SLO)");
     }
   }
 }
@@ -142,6 +143,14 @@ BenchOptions BenchOptions::from_env() {
     }
     o.faults = v;
   }
+  if (const char* v = get("DMP_SLO")) {
+    try {
+      SloSpec::parse_file(v);  // fail before any run, not after it
+    } catch (const std::exception& e) {
+      fail(std::string(e.what()));
+    }
+    o.slo = v;
+  }
 
   if (o.runs < 1) fail("DMP_RUNS must be >= 1");
   if (!(o.duration_s > 0.0)) fail("DMP_DURATION_S must be > 0");
@@ -166,7 +175,9 @@ std::string BenchOptions::summary() const {
                 static_cast<unsigned long long>(mc_max), threads,
                 static_cast<unsigned long long>(model_shards), obs ? 1 : 0,
                 trace ? 1 : 0, telemetry ? 1 : 0, profile);
-  return buf;
+  std::string out = buf;
+  if (!slo.empty()) out += " slo=" + slo;
+  return out;
 }
 
 BenchOptions bench_options() {

@@ -49,6 +49,11 @@ struct BenchOptions {
   // runs (src/fault/ grammar, e.g. "20 link_down path1; 25 link_up path1").
   // Validated by parsing here so a typo'd plan fails before any run starts.
   std::string faults{};
+  // DMP_SLO: path to a declarative expectation spec (slo/*.slo).  The
+  // spec is parsed here (fail-fast on typos) and evaluated against each
+  // BENCH_*.json the run writes; any violation exits the bench with
+  // status 3 (see exp::evaluate_slo_env).
+  std::string slo{};
 
   // Parses and validates the environment.  Throws std::invalid_argument
   // naming the variable on a malformed value, an out-of-range value, or an

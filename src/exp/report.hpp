@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/divergence/divergence.hpp"
 #include "obs/telemetry/sketch.hpp"
 #include "stream/session.hpp"
 #include "util/stats.hpp"
@@ -73,6 +74,10 @@ class ExperimentReport {
   std::uint64_t root_seed = 0;
   std::size_t replications = 0;
   std::vector<SettingSummary> settings;
+  // Model-vs-simulation residual series, filled by the bench after the
+  // replications complete (the model curve is computed outside the
+  // runner).  Deterministic, so it belongs to aggregate_json().
+  std::vector<obs::DivergenceSeries> divergence;
 
   // Timing — never part of aggregate_json().
   std::size_t threads_used = 0;
@@ -85,7 +90,17 @@ class ExperimentReport {
   // Writes {"timing": {...}, "report": <aggregate>} to
   // `<bench_output_dir()>/BENCH_<experiment>.json` and returns the path.
   // Returns "" (after a stderr warning) if the file cannot be written.
+  // When DMP_SLO names a spec file, the written report is evaluated
+  // against it post-run (see evaluate_slo_env below).
   std::string write_json() const;
 };
+
+// The experiment runner's post-run SLO hook: when the DMP_SLO environment
+// variable names a `.slo` spec, parses it, evaluates every rule against
+// the report JSON at `report_path`, prints the verdict, and exits the
+// process with status 3 on any violation (or an unreadable spec) — a
+// gated bench must not be allowed to "pass" by losing its gate.  No-op
+// when DMP_SLO is unset or empty.
+void evaluate_slo_env(const std::string& report_path);
 
 }  // namespace dmp::exp

@@ -1,0 +1,132 @@
+// Divergence observatory: residual judging, aggregate stats, and the
+// canonical JSON artifact (src/obs/divergence/).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/divergence/divergence.hpp"
+
+namespace {
+
+using dmp::obs::DivergencePoint;
+using dmp::obs::DivergenceSeries;
+using dmp::obs::DivergenceStats;
+using dmp::obs::DivergenceTolerance;
+
+DivergencePoint point(double predicted, double measured, double ci_half = 0.0) {
+  return {"s", 1.0, predicted, measured, ci_half};
+}
+
+TEST(DivergenceTolerance, AbsoluteClause) {
+  DivergenceTolerance tol;
+  tol.abs = 0.01;
+  tol.within_ci = false;
+  EXPECT_TRUE(point(0.10, 0.105).ok(tol));
+  EXPECT_TRUE(point(0.10, 0.095).ok(tol));  // two-sided
+  EXPECT_FALSE(point(0.10, 0.12).ok(tol));
+}
+
+TEST(DivergenceTolerance, ConfidenceIntervalClause) {
+  DivergenceTolerance tol;  // within_ci defaults on, abs 0
+  EXPECT_TRUE(point(0.10, 0.12, 0.03).ok(tol));
+  EXPECT_FALSE(point(0.10, 0.12, 0.01).ok(tol));
+  tol.within_ci = false;
+  EXPECT_FALSE(point(0.10, 0.12, 0.03).ok(tol));
+}
+
+TEST(DivergenceTolerance, RatioClause) {
+  DivergenceTolerance tol;
+  tol.within_ci = false;
+  tol.ratio = 10.0;
+  EXPECT_TRUE(point(0.01, 0.05).ok(tol));   // 5x off, within a decade
+  EXPECT_TRUE(point(0.05, 0.01).ok(tol));
+  EXPECT_FALSE(point(0.001, 0.05).ok(tol));  // 50x off
+  // The ratio clause needs both sides strictly positive.
+  EXPECT_FALSE(point(0.0, 0.05).ok(tol));
+  EXPECT_FALSE(point(0.01, 0.0).ok(tol));
+}
+
+TEST(DivergenceTolerance, OneSidedClause) {
+  DivergenceTolerance tol;
+  tol.one_sided = true;
+  tol.within_ci = false;
+  // Undershoot of any size is fine; overshoot beyond abs diverges.
+  EXPECT_TRUE(point(1e-4, 0.0).ok(tol));
+  EXPECT_TRUE(point(1e-4, 1e-4).ok(tol));
+  EXPECT_FALSE(point(1e-4, 2e-4).ok(tol));
+  tol.abs = 1e-4;
+  EXPECT_TRUE(point(1e-4, 2e-4).ok(tol));
+}
+
+TEST(DivergenceSeries, StatsAggregation) {
+  DivergenceSeries series;
+  series.tolerance.within_ci = false;
+  series.tolerance.abs = 0.05;
+  series.add("a", 4.0, 0.10, 0.13);   // r = +0.03, ok
+  series.add("b", 6.0, 0.10, 0.06);   // r = -0.04, ok
+  series.add("c", 8.0, 0.10, 0.20);   // r = +0.10, diverged, worst
+  const DivergenceStats stats = series.stats();
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.diverged, 1u);
+  EXPECT_NEAR(stats.mean_residual, (0.03 - 0.04 + 0.10) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.rms_residual,
+              std::sqrt((0.03 * 0.03 + 0.04 * 0.04 + 0.10 * 0.10) / 3.0),
+              1e-12);
+  EXPECT_NEAR(stats.max_abs_residual, 0.10, 1e-12);
+  EXPECT_EQ(stats.worst_setting, "c");
+  EXPECT_DOUBLE_EQ(stats.worst_x, 8.0);
+}
+
+TEST(DivergenceSeries, EmptySeriesStats) {
+  const DivergenceStats stats = DivergenceSeries{}.stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.diverged, 0u);
+  EXPECT_EQ(stats.max_abs_residual, 0.0);
+}
+
+DivergenceSeries sample_series() {
+  DivergenceSeries series;
+  series.name = "fig4";
+  series.metric = "late_fraction_playback";
+  series.x_label = "tau_s";
+  series.tolerance.abs = 1e-6;
+  series.tolerance.ratio = 10.0;
+  series.add("1-1", 4.0, 0.0125, 0.0120, 0.002);
+  series.add("1-1", 6.0, 0.0030, 0.0500, 0.001);  // diverged
+  return series;
+}
+
+TEST(DivergenceSeries, JsonIsCanonicalAndCarriesVerdicts) {
+  const std::string json = sample_series().to_json();
+  // Equal state -> equal bytes (the thread-invariance contract).
+  EXPECT_EQ(json, sample_series().to_json());
+  EXPECT_NE(json.find("\"name\": \"fig4\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"diverged\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_setting\": \"1-1\""), std::string::npos);
+  // Single line: embeds directly into the report writer's output.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(DivergenceSeries, DocumentShapeAndFileRoundTrip) {
+  const std::string doc = dmp::obs::divergence_document_json({sample_series()});
+  EXPECT_EQ(doc.rfind("{\"divergence\": [", 0), 0u);
+
+  const std::string path = "divergence_test_artifact.json";
+  ASSERT_TRUE(dmp::obs::write_divergence_json({sample_series()}, path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), doc + "\n");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      dmp::obs::write_divergence_json({sample_series()}, "no/such/dir/x.json"));
+}
+
+}  // namespace

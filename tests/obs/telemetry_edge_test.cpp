@@ -1,0 +1,179 @@
+// Telemetry edge cases: QuantileSketch merge identities and the
+// exact-to-bucketed crossover, and TimeSeries windows at exact
+// t = k * window boundaries.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/sketch.hpp"
+#include "obs/telemetry/time_series.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using dmp::SimTime;
+using dmp::obs::QuantileSketch;
+using dmp::obs::TimeSeriesChannel;
+using dmp::obs::Window;
+
+QuantileSketch with_values(std::size_t n, double start = 1.0) {
+  QuantileSketch sketch;
+  for (std::size_t i = 0; i < n; ++i) {
+    sketch.add(start + static_cast<double>(i));
+  }
+  return sketch;
+}
+
+// --- merge identities ---
+
+TEST(SketchMerge, EmptyOtherIsANoOp) {
+  QuantileSketch sketch = with_values(10);
+  const std::string before = sketch.to_json();
+  sketch.merge(QuantileSketch{});
+  EXPECT_EQ(sketch.to_json(), before);
+  EXPECT_EQ(sketch.count(), 10u);
+}
+
+TEST(SketchMerge, IntoEmptyEqualsCopy) {
+  // Exact-mode source.
+  const QuantileSketch exact = with_values(10);
+  QuantileSketch target;
+  target.merge(exact);
+  EXPECT_EQ(target.to_json(), exact.to_json());
+
+  // Bucketed source: merging into a fresh sketch reproduces its bytes too.
+  const QuantileSketch spilled = with_values(200);
+  EXPECT_FALSE(spilled.exact_mode());
+  QuantileSketch target2;
+  target2.merge(spilled);
+  EXPECT_EQ(target2.to_json(), spilled.to_json());
+}
+
+TEST(SketchMerge, SingletonBothDirections) {
+  QuantileSketch one;
+  one.add(42.0);
+  QuantileSketch many = with_values(5);
+  many.merge(one);
+  EXPECT_EQ(many.count(), 6u);
+  EXPECT_TRUE(many.exact_mode());
+  EXPECT_DOUBLE_EQ(many.max(), 42.0);
+  EXPECT_DOUBLE_EQ(many.quantile(1.0), 42.0);
+
+  QuantileSketch other = with_values(5);
+  one.merge(other);
+  EXPECT_EQ(one.count(), 6u);
+  // Serialization sorts exact samples, so merge order cannot matter.
+  EXPECT_EQ(one.to_json(), many.to_json());
+}
+
+TEST(SketchMerge, ExactPairStaysExactUnderThreshold) {
+  QuantileSketch a = with_values(60);
+  const QuantileSketch b = with_values(60, 100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 120u);
+  EXPECT_TRUE(a.exact_mode());  // 120 <= 128: no precision given up
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 159.0);
+}
+
+TEST(SketchMerge, ExactPairCrossingThresholdSpills) {
+  QuantileSketch a = with_values(100);
+  const QuantileSketch b = with_values(50, 200.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 150u);
+  EXPECT_FALSE(a.exact_mode());  // 150 > 128: bucketed from here on
+  // Relative error stays within alpha on a quantile inside each side.
+  EXPECT_NEAR(a.quantile(0.25), 38.25, 38.25 * 2 * a.alpha());
+}
+
+// --- exact -> bucketed crossover at the threshold ---
+
+TEST(SketchCrossover, SpillsOnAddPastThreshold) {
+  QuantileSketch sketch = with_values(QuantileSketch::kDefaultExactThreshold);
+  EXPECT_TRUE(sketch.exact_mode());  // 128 values: still exact
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 64.5);  // interpolated
+
+  sketch.add(129.0);  // 129th value crosses
+  EXPECT_FALSE(sketch.exact_mode());
+  EXPECT_EQ(sketch.count(), QuantileSketch::kDefaultExactThreshold + 1);
+  // Count/sum/extrema are exact either side of the spill.
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 129.0);
+  EXPECT_DOUBLE_EQ(sketch.mean(), 65.0);
+  // Quantiles degrade only to the alpha relative-error guarantee.
+  EXPECT_NEAR(sketch.quantile(0.5), 65.0, 65.0 * 2 * sketch.alpha());
+}
+
+TEST(SketchCrossover, JsonRoundTripsInBothModes) {
+  const QuantileSketch exact = with_values(128);
+  EXPECT_EQ(QuantileSketch::from_json(exact.to_json()).to_json(),
+            exact.to_json());
+  const QuantileSketch spilled = with_values(129);
+  EXPECT_EQ(QuantileSketch::from_json(spilled.to_json()).to_json(),
+            spilled.to_json());
+}
+
+TEST(SketchCrossover, CustomThreshold) {
+  QuantileSketch sketch(QuantileSketch::kDefaultAlpha, 4);
+  for (int i = 1; i <= 4; ++i) sketch.add(i);
+  EXPECT_TRUE(sketch.exact_mode());
+  sketch.add(5.0);
+  EXPECT_FALSE(sketch.exact_mode());
+  EXPECT_EQ(sketch.count(), 5u);
+}
+
+// --- time-series windows at exact boundaries ---
+
+constexpr std::int64_t kWindowNs = 1'000'000'000;  // 1 s
+
+TEST(TimeSeriesBoundary, SampleAtExactBoundaryStartsTheNextWindow) {
+  TimeSeriesChannel channel("c", kWindowNs);
+  channel.add(SimTime::nanos(0), 1.0);             // t = 0: window 0
+  channel.add(SimTime::nanos(kWindowNs - 1), 2.0); // last ns of window 0
+  channel.add(SimTime::nanos(kWindowNs), 3.0);     // t = 1*w: window 1
+  channel.add(SimTime::nanos(2 * kWindowNs), 4.0); // t = 2*w: window 2
+  const std::vector<Window>& windows = channel.finish();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(windows[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(windows[0].max, 2.0);
+  EXPECT_DOUBLE_EQ(windows[0].last, 2.0);
+  EXPECT_EQ(windows[1].index, 1);
+  EXPECT_EQ(windows[1].count, 1u);
+  EXPECT_DOUBLE_EQ(windows[1].sum, 3.0);
+  EXPECT_EQ(windows[2].index, 2);
+  EXPECT_DOUBLE_EQ(windows[2].last, 4.0);
+}
+
+TEST(TimeSeriesBoundary, OnlyBoundarySamples) {
+  // Every sample lands exactly on t = k * window: one window per sample,
+  // never a stray sample in window k-1.
+  TimeSeriesChannel channel("c", kWindowNs);
+  for (std::int64_t k = 0; k < 4; ++k) {
+    channel.add(SimTime::nanos(k * kWindowNs), static_cast<double>(k));
+  }
+  const auto& windows = channel.finish();
+  ASSERT_EQ(windows.size(), 4u);
+  for (std::int64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(windows[static_cast<std::size_t>(k)].index, k);
+    EXPECT_EQ(windows[static_cast<std::size_t>(k)].count, 1u);
+    EXPECT_DOUBLE_EQ(windows[static_cast<std::size_t>(k)].sum,
+                     static_cast<double>(k));
+  }
+  EXPECT_EQ(channel.total_samples(), 4u);
+}
+
+TEST(TimeSeriesBoundary, GapAcrossEmptyWindowsIsAbsentNotZero) {
+  TimeSeriesChannel channel("c", kWindowNs);
+  channel.add(SimTime::nanos(0), 1.0);
+  channel.add(SimTime::nanos(5 * kWindowNs), 2.0);  // windows 1..4 empty
+  const auto& windows = channel.finish();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 0);
+  EXPECT_EQ(windows[1].index, 5);
+}
+
+}  // namespace

@@ -48,6 +48,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+  // Refuse to render an empty timeline: a trace with zero events means
+  // the input was missing its content (empty or truncated file), and a
+  // silently empty Perfetto document hides that.
+  if (recorder.events().empty()) {
+    std::fprintf(stderr,
+                 "error: %s contains no flight-recorder events (empty or "
+                 "truncated trace?)\n",
+                 argv[1]);
+    return 2;
+  }
   const dmp::obs::TraceAnalyzer analyzer(recorder);
 
   dmp::obs::TimelineOptions options;

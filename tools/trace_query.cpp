@@ -296,7 +296,12 @@ int cmd_percentiles(const char* path, int argc, char** argv) {
       return 2;
     }
   }
-  if (!any) std::fprintf(stderr, "(no sketches in %s)\n", path);
+  if (!any) {
+    std::fprintf(stderr,
+                 "error: no sketches in %s (empty or truncated artifact?)\n",
+                 path);
+    return 2;
+  }
   return 0;
 }
 
@@ -314,6 +319,16 @@ int main(int argc, char** argv) {
     recorder = dmp::obs::read_flight_trace_file(argv[2]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  // A trace a recorder actually wrote always contains events; an empty
+  // load means the input is not a trace (empty file, or one truncated
+  // before any event survived) and an empty summary would be misleading.
+  if (recorder.events().empty()) {
+    std::fprintf(stderr,
+                 "error: %s contains no flight-recorder events (empty or "
+                 "truncated trace?)\n",
+                 argv[2]);
     return 2;
   }
   const TraceAnalyzer az(recorder);
