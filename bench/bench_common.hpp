@@ -91,6 +91,9 @@ inline exp::ExperimentPlan plan_for(const std::string& name,
     // DMP_FAULTS applies the same fault plan to every session the bench
     // runs (empty by default — no injector is constructed).
     config.faults = options.faults;
+    // DMP_SCHED swaps the DMP dispatch policy for every session ("pull"
+    // by default — the paper's scheme, byte-identical to the old code).
+    config.scheduler = options.sched;
     plan.settings.push_back({setting.name, std::move(config)});
   }
   // Attach observability / flight recording to the very first replication;

@@ -1,0 +1,173 @@
+// Scheduler strategy comparison: late fraction vs goodput overhead for
+// every PathScheduler strategy (src/stream/scheduler/), across the paper's
+// Fig. 4 homogeneous grid (Setting 2-2), the Fig. 5 heterogeneous grid
+// (Setting 1-3), and a mid-stream outage arm (the bench_failover plan:
+// path0 dark for 5 s starting at 20% of the stream).
+//
+// The interesting trade-off is the redundancy corner: `redundant` and
+// `parity-<k>` spend idle path capacity on extra wire copies (goodput
+// overhead > 1) to buy a lower late fraction when a path degrades or
+// dies, while `pull` (the paper's scheme) sends every packet exactly once
+// and pays for outages in startup delay.  DMP_SCHED is ignored here — the
+// strategy sweep IS the experiment.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace dmp;
+
+int main() {
+  const auto options = exp::bench_options();
+  const double duration_s = options.duration_s;
+  const double t_down = std::max(5.0, 0.2 * duration_s);
+  const double outage_s = 5.0;
+  const bool outage_fits = t_down + outage_s < duration_s;
+  bench::banner("Schedulers: late fraction vs goodput overhead per strategy");
+  if (outage_fits) {
+    std::printf("(outage arm: path0 down %.0f-%.0f s of a %.0f s stream)\n",
+                t_down, t_down + outage_s, duration_s);
+  } else {
+    std::printf("(stream too short for the outage arm; skipping it)\n");
+  }
+
+  const std::vector<std::string> strategies{
+      "pull", "weighted", "best_path", "round_robin", "redundant", "parity-4"};
+  // Fig. 4's homogeneous pair and Fig. 5's heterogeneous pair.
+  const std::vector<bench::ValidationSetting> grids{
+      {"2-2", 2, 2, 50.0, false},
+      {"1-3", 1, 3, 40.0, false},
+  };
+  // The outage arm rides the bench_failover path pair (Table-1 config 4 —
+  // paths with headroom).  Redundancy spends SPARE capacity; at saturation
+  // (e.g. the 2-2 grid at mu = 50) there is no spare window to ride and
+  // copies only displace live data — docs/SCHEDULERS.md, decision table.
+  const bench::ValidationSetting outage_grid{"4-4", 4, 4, 30.0, false};
+
+  exp::ExperimentPlan plan;
+  plan.name = "schedulers";
+  plan.replications = static_cast<std::size_t>(options.runs);
+  plan.seed = options.seed;
+  struct Arm {
+    std::string name;
+    std::string strategy;
+    std::string grid;
+    bool outage;
+  };
+  std::vector<Arm> arms;
+  for (const auto& strategy : strategies) {
+    for (const auto& grid : grids) {
+      SessionConfig config = bench::session_for(grid, duration_s);
+      config.scheduler = strategy;
+      const std::string name = strategy + "_" + grid.name;
+      arms.push_back({name, strategy, grid.name, false});
+      plan.settings.push_back({name, std::move(config)});
+    }
+    if (outage_fits) {
+      SessionConfig config = bench::session_for(outage_grid, duration_s);
+      config.scheduler = strategy;
+      char spec[128];
+      std::snprintf(spec, sizeof spec, "%g link_down path0; %g link_up path0",
+                    t_down, t_down + outage_s);
+      config.faults = spec;
+      const std::string name = strategy + "_" + outage_grid.name + "_outage";
+      arms.push_back({name, strategy, outage_grid.name, true});
+      plan.settings.push_back({name, std::move(config)});
+    }
+  }
+
+  plan.metrics = [](const SessionResult& result, std::size_t, std::size_t) {
+    const auto generated = static_cast<double>(result.packets_generated);
+    // Unique stream packets the client recorded (the RedundancyFilter
+    // already suppressed duplicate copies for needs-dedup policies).
+    const auto delivered = static_cast<double>(result.trace.entries().size());
+    // Wire copies: every generated packet is dispatched once (DMP never
+    // drops from the shared queue) plus whatever redundancy the policy
+    // added.  Packets still queued at drain end make this a slight
+    // overcount; with the standard drain window that count is ~0.
+    const double wire = generated +
+                        static_cast<double>(result.duplicates_sent) +
+                        static_cast<double>(result.parity_sent);
+    std::vector<std::pair<std::string, double>> m;
+    m.emplace_back("f_tau2", result.trace.late_fraction_playback_order(
+                                 2.0, result.packets_generated));
+    m.emplace_back("f_tau4", result.trace.late_fraction_playback_order(
+                                 4.0, result.packets_generated));
+    m.emplace_back("delivered_fraction",
+                   generated > 0.0 ? delivered / generated : 1.0);
+    m.emplace_back("send_overhead", generated > 0.0 ? wire / generated : 1.0);
+    m.emplace_back("goodput_overhead",
+                   delivered > 0.0 ? wire / delivered : 1.0);
+    m.emplace_back("duplicates_sent",
+                   static_cast<double>(result.duplicates_sent));
+    m.emplace_back("parity_sent", static_cast<double>(result.parity_sent));
+    m.emplace_back("duplicates_suppressed",
+                   static_cast<double>(result.duplicates_suppressed));
+    m.emplace_back("parity_recovered",
+                   static_cast<double>(result.parity_recovered));
+    return m;
+  };
+
+  const auto report = exp::ExperimentRunner(options.threads).run(plan);
+
+  CsvWriter csv(bench_output_dir() + "/schedulers.csv",
+                {"setting", "strategy", "grid", "outage", "f_tau2", "f_tau4",
+                 "goodput_overhead", "send_overhead", "delivered_fraction",
+                 "duplicates_sent", "parity_sent", "duplicates_suppressed",
+                 "parity_recovered"});
+  std::printf("\n%-22s %10s %10s %10s %10s %8s %8s\n", "setting", "f(tau=2)",
+              "f(tau=4)", "overhead", "delivered", "dups", "parity");
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const auto& arm = arms[i];
+    const auto& setting = report.settings[i];
+    const auto get = [&setting](const char* name) {
+      return setting.find(name)->ci().mean;
+    };
+    std::printf("%-22s %10.4g %10.4g %10.4f %10.4g %8.1f %8.1f\n",
+                arm.name.c_str(), get("f_tau2"), get("f_tau4"),
+                get("goodput_overhead"), get("delivered_fraction"),
+                get("duplicates_sent"), get("parity_sent"));
+    csv.row({arm.name, arm.strategy, arm.grid, arm.outage ? "1" : "0",
+             CsvWriter::num(get("f_tau2")), CsvWriter::num(get("f_tau4")),
+             CsvWriter::num(get("goodput_overhead")),
+             CsvWriter::num(get("send_overhead")),
+             CsvWriter::num(get("delivered_fraction")),
+             CsvWriter::num(get("duplicates_sent")),
+             CsvWriter::num(get("parity_sent")),
+             CsvWriter::num(get("duplicates_suppressed")),
+             CsvWriter::num(get("parity_recovered"))});
+  }
+
+  // The headline comparison: does buying redundancy (goodput overhead)
+  // actually lower the late fraction when a path dies mid-stream?
+  if (outage_fits) {
+    const auto find_arm = [&](const std::string& name) -> std::size_t {
+      for (std::size_t i = 0; i < arms.size(); ++i) {
+        if (arms[i].name == name) return i;
+      }
+      return arms.size();
+    };
+    const std::size_t p = find_arm("pull_4-4_outage");
+    const std::size_t r = find_arm("redundant_4-4_outage");
+    if (p < arms.size() && r < arms.size()) {
+      const double f_pull = report.settings[p].find("f_tau4")->ci().mean;
+      const double f_red = report.settings[r].find("f_tau4")->ci().mean;
+      const double cost =
+          report.settings[r].find("goodput_overhead")->ci().mean;
+      std::printf("\noutage at K=2: f(tau=4) pull=%.4g redundant=%.4g "
+                  "(%s) at %.3fx goodput overhead\n",
+                  f_pull, f_red,
+                  f_red <= f_pull ? "redundancy pays" : "redundancy did NOT pay",
+                  cost);
+    }
+  }
+  std::printf("reading: pull sends each packet once (overhead 1.0) and pays "
+              "for outages in lateness; redundant/parity spend idle path "
+              "capacity on extra copies to flatten the outage spike.\n");
+  std::printf("CSV: %s/schedulers.csv\n", bench_output_dir().c_str());
+  std::printf("JSON: %s\n", report.write_json().c_str());
+  return 0;
+}

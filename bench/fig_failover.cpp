@@ -85,6 +85,9 @@ int main() {
                                  table1_config(4));
       config.num_flows = static_cast<std::size_t>(k);
       config.scheme = StreamScheme::kDmp;
+      // DMP_SCHED applies: rerun the failover study under any dispatch
+      // policy (the default "pull" reproduces the original figure).
+      config.scheduler = options.sched;
       config.mu_pps = 20.0;
       config.duration_s = duration_s;
       if (d > 0.0) {

@@ -2,6 +2,7 @@
 
 #include "exp/compare/slo.hpp"
 #include "fault/fault_plan.hpp"
+#include "stream/scheduler/path_scheduler.hpp"
 
 #include <cerrno>
 #include <cstdio>
@@ -27,7 +28,7 @@ const char* const kKnownVars[] = {
     "DMP_TRACE",          "DMP_OUT_DIR",         "DMP_FIG7_DURATION_S",
     "DMP_TABLE1_PROBE_S", "DMP_FAULTS",          "DMP_SANITIZE",
     "DMP_CHECK_BUILD_DIR", "DMP_TELEMETRY",      "DMP_TELEMETRY_WINDOW_S",
-    "DMP_PROFILE",        "DMP_SLO",
+    "DMP_PROFILE",        "DMP_SLO",             "DMP_SCHED",
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -75,12 +76,16 @@ void reject_unknown_vars() {
       }
     }
     if (!known) {
+      // Build the accepted set from kKnownVars itself: a hand-maintained
+      // copy of the list in this message drifted out of date once already
+      // (it was missing newer knobs), so generate it.
+      std::string accepted;
+      for (const char* k : kKnownVars) {
+        if (!accepted.empty()) accepted += ' ';
+        accepted += k;
+      }
       fail("unknown variable " + std::string(name) +
-           " (misspelled knob? known: DMP_RUNS DMP_DURATION_S DMP_SEED "
-           "DMP_MC_MIN DMP_MC_MAX DMP_THREADS DMP_OBS DMP_OBS_PROBE_S "
-           "DMP_MODEL_SHARDS DMP_TRACE DMP_OUT_DIR DMP_FIG7_DURATION_S "
-           "DMP_TABLE1_PROBE_S DMP_FAULTS DMP_TELEMETRY "
-           "DMP_TELEMETRY_WINDOW_S DMP_PROFILE DMP_SLO)");
+           " (misspelled knob? known: " + accepted + ")");
     }
   }
 }
@@ -135,6 +140,14 @@ BenchOptions BenchOptions::from_env() {
   if (const char* v = get("DMP_TABLE1_PROBE_S")) {
     o.table1_probe_s = parse_double("DMP_TABLE1_PROBE_S", v);
   }
+  if (const char* v = get("DMP_SCHED")) {
+    try {
+      SchedulerSpec::parse(v);  // validation only; benches re-parse
+    } catch (const std::exception& e) {
+      fail("DMP_SCHED: " + std::string(e.what()));
+    }
+    o.sched = v;
+  }
   if (const char* v = get("DMP_FAULTS")) {
     try {
       fault::FaultPlan::parse(v);  // validation only; benches re-parse
@@ -176,6 +189,8 @@ std::string BenchOptions::summary() const {
                 static_cast<unsigned long long>(model_shards), obs ? 1 : 0,
                 trace ? 1 : 0, telemetry ? 1 : 0, profile);
   std::string out = buf;
+  if (sched != "pull") out += " sched=" + sched;
+  if (!faults.empty()) out += " faults='" + faults + "'";
   if (!slo.empty()) out += " slo=" + slo;
   return out;
 }

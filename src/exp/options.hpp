@@ -45,6 +45,11 @@ struct BenchOptions {
   int profile = 0;
   double fig7_duration_s = 3000.0;  // DMP_FIG7_DURATION_S
   double table1_probe_s = 120.0;    // DMP_TABLE1_PROBE_S
+  // DMP_SCHED: DMP dispatch policy applied to every simulated session a
+  // bench runs (src/stream/scheduler/ grammar: pull | weighted[:w0,w1,...]
+  // | best_path | round_robin | redundant | parity-<k>).  Validated by
+  // parsing here so a typo'd spec fails before any run starts.
+  std::string sched = "pull";
   // DMP_FAULTS: fault-plan spec applied to every simulated session a bench
   // runs (src/fault/ grammar, e.g. "20 link_down path1; 25 link_up path1").
   // Validated by parsing here so a typo'd plan fails before any run starts.

@@ -34,6 +34,7 @@ std::string_view flight_event_name(FlightEventKind kind) {
     case FlightEventKind::kDeliver: return "deliver";
     case FlightEventKind::kArrive: return "arrive";
     case FlightEventKind::kPathFault: return "path_fault";
+    case FlightEventKind::kSchedDecision: return "sched";
   }
   return "?";
 }

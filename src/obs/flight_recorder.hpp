@@ -50,6 +50,11 @@ enum class FlightEventKind : std::uint8_t {
   kPathFault,    // fault: injected path event (path-level, packet = -1;
                  // seq carries the fault::FaultKind code, queue the burst
                  // count for burst_loss)
+  kSchedDecision,  // server: a PathScheduler redundancy decision — a
+                   // duplicate copy (packet >= 0) or an XOR-parity packet
+                   // (encoded negative tag) dispatched on `path`.  Plain
+                   // pulls keep their kPull event; `pull` runs emit none
+                   // of these, keeping compat traces byte-identical.
 };
 
 std::string_view flight_event_name(FlightEventKind kind);

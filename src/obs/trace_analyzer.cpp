@@ -133,6 +133,11 @@ TraceAnalyzer::TraceAnalyzer(const FlightRecorder& recorder)
       case FlightEventKind::kRto:
       case FlightEventKind::kPathFault:
         break;  // handled above
+      case FlightEventKind::kSchedDecision:
+        // Redundancy dispatches (duplicate copies / parity packets) are
+        // wire-level extras, not lifecycle stations: the copy that wins
+        // the race produces the packet's kArrive like any other.
+        break;
     }
   }
 }
@@ -350,6 +355,7 @@ FlightEventKind kind_from_name(const std::string& name, bool* ok) {
   if (name == "deliver") return FlightEventKind::kDeliver;
   if (name == "arrive") return FlightEventKind::kArrive;
   if (name == "path_fault") return FlightEventKind::kPathFault;
+  if (name == "sched") return FlightEventKind::kSchedDecision;
   *ok = false;
   return FlightEventKind::kGenerate;
 }

@@ -2,22 +2,27 @@
 
 #include <stdexcept>
 
+#include "stream/scheduler/strategies.hpp"
+
 namespace dmp {
 
-DmpStreamingServer::DmpStreamingServer(Scheduler& sched, double mu_pps,
-                                       std::vector<RenoSender*> senders,
-                                       SimTime start, SimTime duration)
+DmpStreamingServer::DmpStreamingServer(
+    Scheduler& sched, double mu_pps, std::vector<RenoSender*> senders,
+    SimTime start, SimTime duration, std::unique_ptr<PathScheduler> scheduler)
     : sched_(sched),
       mu_pps_(mu_pps),
       senders_(std::move(senders)),
       period_(SimTime::seconds(1.0 / mu_pps)),
-      end_(start + duration) {
+      end_(start + duration),
+      scheduler_(std::move(scheduler)) {
   if (senders_.empty()) throw std::invalid_argument{"DMP needs >= 1 sender"};
   if (mu_pps <= 0) throw std::invalid_argument{"mu must be positive"};
+  if (!scheduler_) scheduler_ = std::make_unique<PullScheduler>(senders_.size());
   pulls_.assign(senders_.size(), 0);
   down_.assign(senders_.size(), false);
+  path_state_.assign(senders_.size(), SchedPathState{});
   for (std::size_t k = 0; k < senders_.size(); ++k) {
-    senders_[k]->set_space_callback([this, k] { pull_into(k); });
+    senders_[k]->set_space_callback([this, k] { window_open(k); });
   }
   sched_.post_at(start, [this] { generate(); }, EventCategory::kSource);
 }
@@ -30,6 +35,8 @@ void DmpStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
     m_pulls_.push_back(
         &registry.counter(prefix + ".pulls.path" + std::to_string(k)));
   }
+  m_duplicates_ = &registry.counter(prefix + ".sched.duplicates");
+  m_parity_ = &registry.counter(prefix + ".sched.parity");
   registry.gauge(prefix + ".queue_depth").set_sampler([this] {
     return static_cast<double>(queue_.size());
   });
@@ -52,7 +59,11 @@ void DmpStreamingServer::generate() {
     flight_->record(e);
   }
   if (ts_generated_) ts_generated_->bump(sched_.now());
-  offer_all();
+  scheduler_->on_generate(number);
+  // At generation instants several senders may have space (e.g. during
+  // startup); the policy decides who gets the backlog.
+  scheduler_->on_offer();
+  drain();
   // Post-offer backlog: what the CBR source left behind after every sender
   // with space took its share — the paper's "TCP lags generation" signal.
   if (ts_backlog_) {
@@ -63,37 +74,91 @@ void DmpStreamingServer::generate() {
   }
 }
 
-void DmpStreamingServer::pull_into(std::size_t k) {
+void DmpStreamingServer::window_open(std::size_t k) {
   // A failed path must not soak up fresh packets: its sender would sit on
   // them behind a dead link.  (The flag is only ever set by the fault
   // injector; fault-free runs never take this branch.)
   if (down_[k]) return;
-  // The sender fetches from the head of the server queue until it blocks
-  // (buffer full) or the queue empties — exactly the Fig. 2 loop.  The
-  // fetch is recorded before enqueue() so trace lines stay in lifecycle
-  // order (enqueue itself emits the tcp/link events).
-  while (!queue_.empty() && senders_[k]->space() > 0) {
-    const std::int64_t number = queue_.front();
-    queue_.pop_front();
-    ++pulls_[k];
-    if (!m_pulls_.empty()) m_pulls_[k]->inc();
-    if (flight_) {
-      obs::FlightEvent e;
-      e.t_ns = sched_.now().ns();
-      e.kind = obs::FlightEventKind::kPull;
-      e.packet = number;
-      e.path = static_cast<std::int32_t>(k);
-      e.queue = static_cast<std::int64_t>(queue_.size());
-      flight_->record(e);
+  scheduler_->on_window_open(k);
+  drain();
+}
+
+void DmpStreamingServer::drain() {
+  SchedDecision decision;
+  while (true) {
+    for (std::size_t k = 0; k < senders_.size(); ++k) {
+      path_state_[k].space = senders_[k]->space();
+      path_state_[k].down = down_[k];
+      path_state_[k].srtt_s = senders_[k]->srtt_s();
+      path_state_[k].oldest_unacked = senders_[k]->oldest_unacked_tag();
+      path_state_[k].rto_backoff = senders_[k]->rto_backoff();
     }
-    if (event_log_ && event_log_->enabled(obs::Severity::kDebug)) {
-      event_log_->record(sched_.now().to_seconds(), obs::Severity::kDebug,
-                         "pull",
-                         {obs::EventField::num("path", k),
-                          obs::EventField::num("packet", number),
-                          obs::EventField::num("queue", queue_.size())});
+    if (!scheduler_->pick(path_state_, queue_, &decision)) return;
+    execute(decision);
+  }
+}
+
+void DmpStreamingServer::execute(const SchedDecision& decision) {
+  const std::size_t k = decision.path;
+  switch (decision.kind) {
+    case SchedDecision::Kind::kPull: {
+      // The fetch is recorded before enqueue() so trace lines stay in
+      // lifecycle order (enqueue itself emits the tcp/link events).
+      const std::int64_t number = queue_[decision.queue_pos];
+      queue_.erase(queue_.begin() +
+                   static_cast<std::ptrdiff_t>(decision.queue_pos));
+      ++pulls_[k];
+      if (!m_pulls_.empty()) m_pulls_[k]->inc();
+      if (flight_) {
+        obs::FlightEvent e;
+        e.t_ns = sched_.now().ns();
+        e.kind = obs::FlightEventKind::kPull;
+        e.packet = number;
+        e.path = static_cast<std::int32_t>(k);
+        e.queue = static_cast<std::int64_t>(queue_.size());
+        flight_->record(e);
+      }
+      if (event_log_ && event_log_->enabled(obs::Severity::kDebug)) {
+        event_log_->record(sched_.now().to_seconds(), obs::Severity::kDebug,
+                           "pull",
+                           {obs::EventField::num("path", k),
+                            obs::EventField::num("packet", number),
+                            obs::EventField::num("queue", queue_.size())});
+      }
+      senders_[k]->enqueue(number);
+      break;
     }
-    senders_[k]->enqueue(number);
+    case SchedDecision::Kind::kDuplicate:
+    case SchedDecision::Kind::kParity: {
+      const bool dup = decision.kind == SchedDecision::Kind::kDuplicate;
+      if (dup) {
+        ++duplicates_sent_;
+        if (m_duplicates_) m_duplicates_->inc();
+        if (ts_duplicates_) ts_duplicates_->bump(sched_.now());
+      } else {
+        ++parity_sent_;
+        if (m_parity_) m_parity_->inc();
+        if (ts_parity_) ts_parity_->bump(sched_.now());
+      }
+      if (flight_) {
+        obs::FlightEvent e;
+        e.t_ns = sched_.now().ns();
+        e.kind = obs::FlightEventKind::kSchedDecision;
+        e.packet = decision.packet;
+        e.path = static_cast<std::int32_t>(k);
+        e.queue = static_cast<std::int64_t>(queue_.size());
+        flight_->record(e);
+      }
+      if (event_log_ && event_log_->enabled(obs::Severity::kDebug)) {
+        event_log_->record(sched_.now().to_seconds(), obs::Severity::kDebug,
+                           dup ? "dup" : "parity",
+                           {obs::EventField::num("path", k),
+                            obs::EventField::num("packet", decision.packet),
+                            obs::EventField::num("queue", queue_.size())});
+      }
+      senders_[k]->enqueue(decision.packet);
+      break;
+    }
   }
 }
 
@@ -114,22 +179,22 @@ void DmpStreamingServer::on_path_down(std::size_t k) {
                         obs::EventField::num("packets", tags.size()),
                         obs::EventField::num("queue", queue_.size())});
   }
-  offer_all();
+  std::vector<AtRiskPacket> at_risk;
+  for (const auto& segment : senders_[k]->transmitted_unacked()) {
+    at_risk.push_back(AtRiskPacket{
+        segment.app_tag, (sched_.now() - segment.last_sent).to_seconds()});
+  }
+  scheduler_->on_path_down(k, tags, at_risk, senders_[k]->srtt_s());
+  // Re-offer the (reclaimed) backlog to the surviving senders.
+  scheduler_->on_offer();
+  drain();
 }
 
 void DmpStreamingServer::on_path_up(std::size_t k) {
   down_[k] = false;
-  pull_into(k);
-}
-
-void DmpStreamingServer::offer_all() {
-  // At generation instants several senders may have space (e.g. during
-  // startup); rotate the starting index so no path is structurally favored.
-  const std::size_t n = senders_.size();
-  for (std::size_t i = 0; i < n && !queue_.empty(); ++i) {
-    pull_into((rotate_ + i) % n);
-  }
-  rotate_ = (rotate_ + 1) % n;
+  scheduler_->on_path_up(k);
+  scheduler_->on_window_open(k);
+  drain();
 }
 
 }  // namespace dmp

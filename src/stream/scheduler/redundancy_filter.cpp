@@ -1,0 +1,46 @@
+#include "stream/scheduler/redundancy_filter.hpp"
+
+#include "stream/scheduler/path_scheduler.hpp"
+
+namespace dmp {
+
+void RedundancyFilter::mark(std::int64_t tag) {
+  const auto index = static_cast<std::size_t>(tag);
+  if (index >= seen_.size()) seen_.resize(index + 1, false);
+  seen_[index] = true;
+}
+
+void RedundancyFilter::on_deliver(
+    std::int64_t tag, const std::function<void(std::int64_t)>& deliver) {
+  if (is_parity_tag(tag)) {
+    ++counters_.parity_received;
+    std::int64_t first = 0;
+    int k = 0;
+    decode_parity_tag(tag, &first, &k);
+    std::int64_t missing = -1;
+    int missing_count = 0;
+    for (std::int64_t t = first; t < first + k; ++t) {
+      if (!seen(t)) {
+        missing = t;
+        ++missing_count;
+      }
+    }
+    if (missing_count == 1) {
+      ++counters_.parity_recovered;
+      mark(missing);
+      deliver(missing);
+    } else {
+      ++counters_.parity_unused;
+    }
+    return;
+  }
+  if (tag < 0) return;  // background / control tags
+  if (seen(tag)) {
+    ++counters_.duplicates_suppressed;
+    return;
+  }
+  mark(tag);
+  deliver(tag);
+}
+
+}  // namespace dmp

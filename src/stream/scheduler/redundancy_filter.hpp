@@ -1,0 +1,52 @@
+// Client-side exactly-once filter for redundant scheduling policies.
+//
+// The redundant / parity-k schedulers may put the same stream packet on
+// the wire more than once (a copy, or a parity packet it is recoverable
+// from).  StreamTrace assumes at-most-once recording — a duplicate entry
+// would corrupt late_fraction_playback_order — so sessions running a
+// needs_dedup() policy route every sink delivery through this filter:
+//
+//   * the first sight of a data tag passes through;
+//   * repeats are suppressed (counted, not delivered);
+//   * a parity tag (see path_scheduler.hpp's encoding) covering exactly
+//     one still-missing data packet reconstructs it — the simulation's
+//     tag-level equivalent of XOR recovery — delivering the missing tag
+//     at the parity packet's arrival instant; parity with zero or more
+//     than one missing packet is counted and discarded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dmp {
+
+class RedundancyFilter {
+ public:
+  struct Counters {
+    std::uint64_t duplicates_suppressed = 0;  // repeat data arrivals dropped
+    std::uint64_t parity_received = 0;        // parity packets that arrived
+    std::uint64_t parity_recovered = 0;       // data packets reconstructed
+    std::uint64_t parity_unused = 0;          // 0 or >1 covered tags missing
+  };
+
+  // Handles one in-order sink delivery of `tag`; invokes `deliver` at most
+  // once with a data tag that should be recorded (first sight or parity
+  // recovery).  Negative non-parity tags (background/control) are ignored.
+  void on_deliver(std::int64_t tag,
+                  const std::function<void(std::int64_t)>& deliver);
+
+  bool seen(std::int64_t tag) const {
+    return tag >= 0 && static_cast<std::size_t>(tag) < seen_.size() &&
+           seen_[static_cast<std::size_t>(tag)];
+  }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void mark(std::int64_t tag);
+
+  std::vector<bool> seen_;  // indexed by data tag
+  Counters counters_;
+};
+
+}  // namespace dmp

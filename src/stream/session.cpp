@@ -10,6 +10,7 @@
 #include "obs/probe.hpp"
 #include "obs/run_report.hpp"
 #include "sim/scheduler.hpp"
+#include "stream/scheduler/redundancy_filter.hpp"
 #include "stream/stream_server.hpp"
 #include "tcp/connection.hpp"
 #include "util/rng.hpp"
@@ -50,6 +51,15 @@ SessionResult run_session(const SessionConfig& config) {
     throw std::invalid_argument{
         "independent sessions need one path config per video flow"};
   }
+  // Parse the dispatch-policy spec up front so a typo fails before any
+  // network is built.  Only DMP sessions running a redundant policy route
+  // deliveries through the exactly-once filter; everything else keeps the
+  // direct callback path (no allocation, no behavior change).
+  const SchedulerSpec scheduler_spec = SchedulerSpec::parse(config.scheduler);
+  const bool dedup = config.scheme == StreamScheme::kDmp &&
+                     scheduler_spec.redundant();
+  std::unique_ptr<RedundancyFilter> redundancy;
+  if (dedup) redundancy = std::make_unique<RedundancyFilter>();
 
   Scheduler sched;
   Rng rng(config.seed);
@@ -173,38 +183,49 @@ SessionResult run_session(const SessionConfig& config) {
     }
     const double late_tau = config.telemetry.late_tau_s;
     obs::FlightRecorder* fr = flight.get();
+    RedundancyFilter* filter = redundancy.get();
     video[k].sink->set_deliver_callback(
         [&trace, path32, &sched, epoch, arrived, delay, fr, ts_delivered,
-         ts_late, delay_sketch, late_tau](std::int64_t tag, SimTime) {
-          if (tag < 0) return;
-          const SimTime arrival = sched.now() - epoch;
-          trace.record(tag, arrival, path32);
-          if (fr) {
-            obs::FlightEvent e;
-            e.t_ns = sched.now().ns();
-            e.kind = obs::FlightEventKind::kArrive;
-            e.packet = tag;
-            e.path = static_cast<std::int32_t>(path32);
-            fr->record(e);
-          }
-          if (arrived || delay_sketch || ts_late) {
-            const double d =
-                (arrival - trace.generation_time(tag)).to_seconds();
-            if (arrived) {
-              arrived->inc();
-              delay->observe(d);
+         ts_late, delay_sketch, late_tau, filter](std::int64_t tag, SimTime) {
+          const auto record = [&](std::int64_t data_tag) {
+            const SimTime arrival = sched.now() - epoch;
+            trace.record(data_tag, arrival, path32);
+            if (fr) {
+              obs::FlightEvent e;
+              e.t_ns = sched.now().ns();
+              e.kind = obs::FlightEventKind::kArrive;
+              e.packet = data_tag;
+              e.path = static_cast<std::int32_t>(path32);
+              fr->record(e);
             }
-            if (delay_sketch) delay_sketch->add(d);
-            if (ts_late) ts_late->add(sched.now(), d > late_tau ? 1.0 : 0.0);
+            if (arrived || delay_sketch || ts_late) {
+              const double d =
+                  (arrival - trace.generation_time(data_tag)).to_seconds();
+              if (arrived) {
+                arrived->inc();
+                delay->observe(d);
+              }
+              if (delay_sketch) delay_sketch->add(d);
+              if (ts_late) ts_late->add(sched.now(), d > late_tau ? 1.0 : 0.0);
+            }
+            if (ts_delivered) ts_delivered->bump(sched.now());
+          };
+          if (filter) {
+            // Redundant policy: exactly-once semantics — first sight passes,
+            // repeats are suppressed, a parity arrival may reconstruct the
+            // one missing packet it covers (recorded at this instant).
+            filter->on_deliver(tag, record);
+            return;
           }
-          if (ts_delivered) ts_delivered->bump(sched.now());
+          if (tag < 0) return;
+          record(tag);
         });
   }
 
   // --- server (scheme under test; one interface, no per-scheme wiring) ---
   const SimTime duration = SimTime::seconds(config.duration_s);
-  std::unique_ptr<StreamServer> server =
-      make_stream_server(config, sched, senders, epoch, duration);
+  std::unique_ptr<StreamServer> server = make_stream_server(
+      config, sched, senders, epoch, duration, scheduler_spec);
   if (registry) {
     server->attach_metrics(*registry, "server");
     server->set_event_log(events.get());
@@ -213,6 +234,13 @@ SessionResult run_session(const SessionConfig& config) {
   if (telemetry) {
     server->set_telemetry(telemetry->series().channel("server.backlog"),
                           telemetry->series().channel("server.generated"));
+    // Redundancy channels only exist when the policy can emit them, so
+    // compat-policy telemetry artifacts stay unchanged.
+    if (dedup) {
+      server->set_sched_telemetry(
+          telemetry->series().channel("server.sched.duplicates"),
+          telemetry->series().channel("server.sched.parity"));
+    }
   }
 
   // --- fault injector (only when a plan is given: an empty spec builds
@@ -309,6 +337,12 @@ SessionResult run_session(const SessionConfig& config) {
     result.paths.push_back(m);
   }
   result.trace = std::move(trace);
+  result.duplicates_sent = server->duplicates_sent();
+  result.parity_sent = server->parity_sent();
+  if (redundancy) {
+    result.duplicates_suppressed = redundancy->counters().duplicates_suppressed;
+    result.parity_recovered = redundancy->counters().parity_recovered;
+  }
 
   // --- end-of-run artifacts ---
   if (flight) {
@@ -339,6 +373,20 @@ SessionResult run_session(const SessionConfig& config) {
 
     obs::RunReport report;
     report.set_text("scheme", server->scheme_name());
+    if (*server->scheduler_name() != '\0') {
+      report.set_text("scheduler", server->scheduler_name());
+    }
+    if (dedup) {
+      report.set_scalar("duplicates_sent",
+                        static_cast<std::int64_t>(result.duplicates_sent));
+      report.set_scalar("parity_sent",
+                        static_cast<std::int64_t>(result.parity_sent));
+      report.set_scalar(
+          "duplicates_suppressed",
+          static_cast<std::int64_t>(result.duplicates_suppressed));
+      report.set_scalar("parity_recovered",
+                        static_cast<std::int64_t>(result.parity_recovered));
+    }
     report.set_scalar("mu_pps", config.mu_pps);
     report.set_scalar("duration_s", config.duration_s);
     report.set_scalar("warmup_s", config.warmup_s);

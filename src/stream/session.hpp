@@ -53,6 +53,13 @@ struct SessionConfig {
   std::uint64_t seed = 1;
   TcpConfig video_tcp = default_video_tcp();
   std::vector<double> static_weights{};  // empty = even split
+  // DMP dispatch policy (src/stream/scheduler/ spec grammar, the DMP_SCHED
+  // bench knob): pull | weighted[:w0,w1,...] | best_path | round_robin |
+  // redundant | parity-<k>.  Parsed and validated before any network is
+  // built; the default reproduces the paper's scheme byte-identically.
+  // Redundant policies route client deliveries through a RedundancyFilter
+  // for exactly-once trace recording.  Static / stored schemes ignore it.
+  std::string scheduler = "pull";
   // Fault schedule (src/fault/ spec grammar, e.g.
   // "20 link_down path1; 25 link_up path1"), times relative to the video
   // epoch.  Targets name paths ("path<k>"); link faults hit path k's
@@ -98,6 +105,14 @@ struct SessionResult {
   std::uint64_t events_executed = 0;
   // Fault events replayed from `config.faults` (0 for fault-free runs).
   std::uint64_t fault_events_fired = 0;
+
+  // Redundancy accounting (all 0 unless a needs-dedup scheduler ran):
+  // extra wire copies / parity packets the server dispatched, and what the
+  // client-side RedundancyFilter did with the arrivals.
+  std::uint64_t duplicates_sent = 0;
+  std::uint64_t parity_sent = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t parity_recovered = 0;
 
   // Populated only when the session ran with `obs.enabled`.  Gauges are
   // frozen to their end-of-run values (the instrumented objects are gone).

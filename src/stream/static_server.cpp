@@ -1,9 +1,25 @@
 #include "stream/static_server.hpp"
 
-#include <numeric>
 #include <stdexcept>
 
 namespace dmp {
+
+namespace {
+
+// Validation order preserved from the pre-WeightedSplit constructor: the
+// sender-count errors fire before any weight arithmetic.
+WeightedSplit make_static_split(std::size_t num_senders,
+                                std::vector<double> weights) {
+  if (num_senders == 0) {
+    throw std::invalid_argument{"static needs >= 1 sender"};
+  }
+  if (!weights.empty() && weights.size() != num_senders) {
+    throw std::invalid_argument{"weights size must match sender count"};
+  }
+  return WeightedSplit(num_senders, std::move(weights));
+}
+
+}  // namespace
 
 StaticStreamingServer::StaticStreamingServer(Scheduler& sched, double mu_pps,
                                              std::vector<RenoSender*> senders,
@@ -14,19 +30,8 @@ StaticStreamingServer::StaticStreamingServer(Scheduler& sched, double mu_pps,
       senders_(std::move(senders)),
       period_(SimTime::seconds(1.0 / mu_pps)),
       end_(start + duration),
+      split_(make_static_split(this->senders_.size(), std::move(weights))),
       queues_(this->senders_.size()) {
-  if (senders_.empty()) throw std::invalid_argument{"static needs >= 1 sender"};
-  if (!weights.empty() && weights.size() != senders_.size()) {
-    throw std::invalid_argument{"weights size must match sender count"};
-  }
-  if (weights.empty()) weights.assign(senders_.size(), 1.0);
-  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  if (total <= 0.0) throw std::invalid_argument{"weights must be positive"};
-  for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument{"weights must be non-negative"};
-    weights_.push_back(w / total);
-  }
-  assigned_.assign(senders_.size(), 0);
   pulls_.assign(senders_.size(), 0);
   down_.assign(senders_.size(), false);
   for (std::size_t k = 0; k < senders_.size(); ++k) {
@@ -49,27 +54,8 @@ void StaticStreamingServer::attach_metrics(obs::MetricsRegistry& registry,
   }
 }
 
-std::size_t StaticStreamingServer::assign_path() {
-  // Deficit (weighted) round-robin: packet n goes to the path furthest
-  // behind its target share.  Equal weights reduce to plain round-robin
-  // (odd/even for K = 2); unequal weights interleave proportionally.
-  const double n1 = static_cast<double>(next_number_ + 1);
-  std::size_t best = 0;
-  double best_deficit = -1e300;
-  for (std::size_t k = 0; k < queues_.size(); ++k) {
-    const double deficit =
-        weights_[k] * n1 - static_cast<double>(assigned_[k]);
-    if (deficit > best_deficit) {
-      best_deficit = deficit;
-      best = k;
-    }
-  }
-  ++assigned_[best];
-  return best;
-}
-
 void StaticStreamingServer::generate() {
-  const std::size_t k = assign_path();
+  const std::size_t k = split_.assign();
   const std::int64_t number = next_number_++;
   queues_[k].push_back(number);
   if (m_generated_) m_generated_->inc();

@@ -14,6 +14,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "stream/scheduler/weighted_split.hpp"
 #include "stream/stream_server.hpp"
 #include "tcp/reno_sender.hpp"
 #include "util/sim_time.hpp"
@@ -34,6 +35,9 @@ class StaticStreamingServer : public StreamServer {
   std::uint64_t pulls(std::size_t k) const override { return pulls_[k]; }
 
   const char* scheme_name() const override { return "static"; }
+  // Static streaming *is* the weighted split, applied offline: the same
+  // deficit rule the `weighted` PathScheduler uses (shared WeightedSplit).
+  const char* scheduler_name() const override { return "weighted"; }
 
   // Registers the `<prefix>.generated` counter, per-path `<prefix>.pulls.
   // path<k>` counters and `<prefix>.queue_depth.path<k>` sampler gauges.
@@ -77,15 +81,15 @@ class StaticStreamingServer : public StreamServer {
  private:
   void generate();
   void pull_into(std::size_t k);
-  std::size_t assign_path();
 
   Scheduler& sched_;
   double mu_pps_;
   std::vector<RenoSender*> senders_;
   SimTime period_;
   SimTime end_;
-  std::vector<double> weights_;            // normalized target fractions
-  std::vector<std::int64_t> assigned_;     // packets assigned per path
+  // The packet-to-path assignment rule, shared with the `weighted`
+  // PathScheduler so both split identically for the same weights.
+  WeightedSplit split_;
 
   std::vector<std::deque<std::int64_t>> queues_;
   std::int64_t next_number_ = 0;

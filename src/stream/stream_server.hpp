@@ -13,6 +13,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry/time_series.hpp"
+#include "stream/scheduler/path_scheduler.hpp"
 #include "util/sim_time.hpp"
 
 namespace dmp {
@@ -37,6 +38,17 @@ class StreamServer {
   // Short scheme tag for reports ("dmp", "static", "stored").
   virtual const char* scheme_name() const = 0;
 
+  // Dispatch-policy tag for reports: the PathScheduler spec a DMP server
+  // runs ("pull", "weighted", "parity-4", ...), "weighted" for static
+  // streaming (it is the same split rule applied offline).  Empty when the
+  // scheme has no policy dimension.
+  virtual const char* scheduler_name() const { return ""; }
+
+  // Redundancy decisions executed by the dispatch policy (0 for schemes /
+  // policies that never send a stream packet twice).
+  virtual std::uint64_t duplicates_sent() const { return 0; }
+  virtual std::uint64_t parity_sent() const { return 0; }
+
   // Registers the scheme's counters and sampler gauges under `prefix`.
   // Optional; a no-op when never called.
   virtual void attach_metrics(obs::MetricsRegistry& registry,
@@ -51,6 +63,11 @@ class StreamServer {
   // `generated` gets one bump per stream packet entering the system.
   virtual void set_telemetry(obs::TimeSeriesChannel* /*backlog*/,
                              obs::TimeSeriesChannel* /*generated*/) {}
+  // Windowed per-redundancy-decision telemetry (duplicate copies / parity
+  // packets per window).  Base-class no-op: only policies that make such
+  // decisions record anything.
+  virtual void set_sched_telemetry(obs::TimeSeriesChannel* /*duplicates*/,
+                                   obs::TimeSeriesChannel* /*parity*/) {}
 
   // Path-fault notifications from the fault injector (src/fault/): path k's
   // link just went down / came back up.  Base-class no-ops; schemes decide
@@ -73,9 +90,19 @@ class StreamServer {
 // Builds the server for `config.scheme`: generation starts at `epoch` and
 // lasts `duration` (live schemes) or dispatches the whole
 // `mu * duration`-packet video from `epoch` on (stored).  `senders` must
-// outlive the returned server.
+// outlive the returned server.  The dispatch policy comes from
+// `config.scheduler` (parsed and validated here).
 std::unique_ptr<StreamServer> make_stream_server(
     const SessionConfig& config, Scheduler& sched,
     std::vector<RenoSender*> senders, SimTime epoch, SimTime duration);
+
+// Overload with a pre-parsed PathScheduler spec (callers that already
+// validated the spec — the session does, so a bad DMP_SCHED fails before
+// any network is built).  The spec drives DMP sessions; static and stored
+// schemes have their policy baked in and ignore it.
+std::unique_ptr<StreamServer> make_stream_server(
+    const SessionConfig& config, Scheduler& sched,
+    std::vector<RenoSender*> senders, SimTime epoch, SimTime duration,
+    const SchedulerSpec& scheduler_spec);
 
 }  // namespace dmp

@@ -51,6 +51,7 @@ void RenoSender::try_send() {
 void RenoSender::emit(std::int64_t seq) {
   Segment& s = seg(seq);
   ++s.times_sent;
+  s.last_sent = sched_.now();
   if (s.times_sent == 1) {
     ++stats_.data_packets_sent;
     if (m_data_sent_) m_data_sent_->inc();

@@ -53,6 +53,9 @@ class RenoSender {
   // Segments enqueued and not yet cumulatively acknowledged.
   std::size_t buffered() const { return segments_.size(); }
   SimTime current_rto() const;
+  // Smoothed RTT estimate in seconds; 0 until the first valid sample
+  // (Karn-filtered).  Consumed by RTT-aware path schedulers.
+  double srtt_s() const { return rtt_valid_ ? srtt_s_ : 0.0; }
   const TcpSenderStats& stats() const { return stats_; }
   const TcpConfig& config() const { return config_; }
 
@@ -67,9 +70,41 @@ class RenoSender {
   // unsent share goes back to the shared queue so surviving paths carry it.
   std::vector<std::int64_t> reclaim_unsent();
 
+  // One transmitted-but-unacked segment: the at-risk set when this
+  // sender's path fails (recovery is otherwise pinned to this sender's
+  // RTO backoff).  `last_sent` separates segments that may genuinely be
+  // caught in a blackhole (sent within ~one RTT of the fault) from older
+  // ones that were already delivered and merely lost their ACK.
+  struct AtRiskSegment {
+    std::int64_t app_tag = -1;
+    SimTime last_sent = SimTime::zero();
+  };
+
+  // Every segment transmitted at least once and not yet cumulatively
+  // acknowledged, in sequence order.  A redundant failover policy may
+  // re-send (a subset of) them on surviving paths; the client dedups.
+  std::vector<AtRiskSegment> transmitted_unacked() const {
+    std::vector<AtRiskSegment> at_risk;
+    for (const auto& segment : segments_) {
+      if (segment.times_sent > 0) {
+        at_risk.push_back(AtRiskSegment{segment.app_tag, segment.last_sent});
+      }
+    }
+    return at_risk;
+  }
+
   // Current Karn backoff multiplier (1 = no backoff; doubles per
   // consecutive timeout up to 64).  Exposed for failover diagnostics.
   std::uint32_t rto_backoff() const { return backoff_; }
+
+  // App tag of the oldest transmitted-but-unacked segment (the head-of-line
+  // packet whose delivery this sender's path is currently blocking), or -1
+  // when nothing transmitted is outstanding.  O(1); consumed by redundancy
+  // policies that duplicate the most deadline-critical packet.
+  std::int64_t oldest_unacked_tag() const {
+    if (segments_.empty() || segments_.front().times_sent == 0) return -1;
+    return segments_.front().app_tag;
+  }
 
   // --- observability (all optional; no-ops when never called) ---
   // Registers `<prefix>.{cwnd,ssthresh,srtt_s,rto_s,buffered}` sampler
@@ -100,6 +135,7 @@ class RenoSender {
   struct Segment {
     std::int64_t app_tag;
     std::uint32_t times_sent = 0;
+    SimTime last_sent = SimTime::zero();
   };
 
   Segment& seg(std::int64_t seq) {

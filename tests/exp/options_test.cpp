@@ -23,7 +23,7 @@ class OptionsTest : public ::testing::Test {
           "DMP_MC_MAX", "DMP_THREADS", "DMP_OBS", "DMP_OBS_PROBE_S",
           "DMP_TRACE", "DMP_OUT_DIR", "DMP_FIG7_DURATION_S",
           "DMP_TABLE1_PROBE_S", "DMP_FAULTS", "DMP_SANITIZE",
-          "DMP_CHECK_BUILD_DIR", "DMP_TYPO", "DMP_RUN"}) {
+          "DMP_CHECK_BUILD_DIR", "DMP_SCHED", "DMP_TYPO", "DMP_RUN"}) {
       unsetenv(name);
     }
   }
@@ -74,6 +74,29 @@ TEST_F(OptionsTest, RejectsMalformedFaultPlan) {
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("DMP_FAULTS"), std::string::npos);
+  }
+}
+
+TEST_F(OptionsTest, ParsesAndValidatesSchedulerSpec) {
+  EXPECT_EQ(BenchOptions::from_env().sched, "pull");
+  setenv("DMP_SCHED", "parity-4", 1);
+  EXPECT_EQ(BenchOptions::from_env().sched, "parity-4");
+  setenv("DMP_SCHED", "weighted:0.7,0.3", 1);
+  EXPECT_EQ(BenchOptions::from_env().sched, "weighted:0.7,0.3");
+}
+
+TEST_F(OptionsTest, RejectsUnknownSchedulerWithAcceptedSet) {
+  setenv("DMP_SCHED", "bogus", 1);
+  try {
+    BenchOptions::from_env();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // Pinned: names the variable, the offending value, and the full
+    // accepted grammar so a typo'd knob is self-diagnosing.
+    EXPECT_STREQ(e.what(),
+                 "bench options: DMP_SCHED: unknown scheduler 'bogus' "
+                 "(accepted: pull, weighted[:w0,w1,...], best_path, "
+                 "round_robin, redundant, parity-<k> for k in [2,32])");
   }
 }
 
@@ -129,6 +152,23 @@ TEST_F(OptionsTest, ErrorNamesTheVariable) {
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("DMP_MC_MAX"), std::string::npos);
+  }
+}
+
+TEST_F(OptionsTest, UnknownVariableErrorListsAcceptedSet) {
+  setenv("DMP_TYPO", "1", 1);
+  try {
+    BenchOptions::from_env();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // Names the offending variable...
+    EXPECT_NE(what.find("DMP_TYPO"), std::string::npos);
+    // ...and the accepted set is generated from the real known list, so
+    // newer knobs can't drift out of the message.
+    EXPECT_NE(what.find("DMP_SCHED"), std::string::npos);
+    EXPECT_NE(what.find("DMP_SLO"), std::string::npos);
+    EXPECT_NE(what.find("DMP_PROFILE"), std::string::npos);
   }
 }
 
