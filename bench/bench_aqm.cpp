@@ -1,0 +1,196 @@
+// AQM queue-discipline comparison: late fraction and required startup
+// delay per bottleneck discipline (src/net/qdisc/), across a homogeneous
+// K-path grid (Table-1 config 2, mu = 25*K — constant per-path load) and
+// the Fig. 5 heterogeneous pair (Setting 1-3).
+//
+// Each arm's measured per-path parameters (p_k, R_k, TO_k — now shaped by
+// the discipline's early drops, not just buffer overflow) feed back into
+// the analytical chain-cache/CTMC pipeline: a Monte-Carlo late fraction at
+// tau = 4 s and a required-startup-delay search per arm, recorded as one
+// DivergenceSeries per qdisc ("aqm_droptail", "aqm_pie", ...).  That makes
+// the bench answer the paper-shaped question for AQM bottlenecks: does the
+// model still track the simulation when the loss process is controller-
+// driven?  DMP_QDISC is ignored here — the discipline sweep IS the
+// experiment (like DMP_SCHED in bench_schedulers).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "model/required_delay.hpp"
+#include "net/qdisc/queue_discipline.hpp"
+#include "obs/divergence/divergence.hpp"
+
+using namespace dmp;
+
+int main() {
+  const auto options = exp::bench_options();
+  bench::banner("AQM: late fraction and required delay per queue discipline");
+
+  const std::vector<std::string> qdiscs{"droptail", "pie", "fq_pie", "codel"};
+  // Fig. 5's heterogeneous pair, streamed under each discipline.
+  const bench::ValidationSetting hetero{"1-3", 1, 3, 40.0, false};
+
+  struct Arm {
+    std::string name;
+    std::string qdisc;   // spec string (also the CSV tag)
+    std::size_t paths;   // K
+    double mu_pps;
+  };
+  std::vector<Arm> arms;
+
+  exp::ExperimentPlan plan;
+  plan.name = "aqm";
+  plan.replications = static_cast<std::size_t>(options.runs);
+  plan.seed = options.seed;
+  for (const auto& qdisc : qdiscs) {
+    for (std::size_t k = 1; k <= 3; ++k) {
+      SessionConfig config;
+      config.path_configs.assign(k, table1_config(2));
+      config.num_flows = k;
+      config.mu_pps = 25.0 * static_cast<double>(k);
+      config.duration_s = options.duration_s;
+      config.qdisc = qdisc;
+      const std::string name = qdisc + "_k" + std::to_string(k);
+      arms.push_back({name, qdisc, k, config.mu_pps});
+      plan.settings.push_back({name, std::move(config)});
+    }
+    SessionConfig config = bench::session_for(hetero, options.duration_s);
+    config.qdisc = qdisc;
+    const std::string name = qdisc + "_" + hetero.name;
+    arms.push_back({name, qdisc, 2, hetero.mu_pps});
+    plan.settings.push_back({name, std::move(config)});
+  }
+
+  plan.metrics = [](const SessionResult& result, std::size_t, std::size_t) {
+    std::vector<std::pair<std::string, double>> m;
+    m.emplace_back("f_tau2", result.trace.late_fraction_playback_order(
+                                 2.0, result.packets_generated));
+    m.emplace_back("f_tau4", result.trace.late_fraction_playback_order(
+                                 4.0, result.packets_generated));
+    for (std::size_t i = 0; i < result.paths.size(); ++i) {
+      const auto& path = result.paths[i];
+      const std::string tag = "path" + std::to_string(i);
+      m.emplace_back(tag + "_p", path.loss_rate);
+      m.emplace_back(tag + "_rtt_ms", path.rtt_s * 1e3);
+      m.emplace_back(tag + "_to", path.to_ratio);
+      m.emplace_back(tag + "_aqm_early",
+                     static_cast<double>(path.aqm_early_drops));
+    }
+    return m;
+  };
+
+  auto report = exp::ExperimentRunner(options.threads).run(plan);
+
+  // --- model feedback: measured (p, R, TO) per arm -> CTMC pipeline ---
+  // Chain parameters must stay in the model's domain even when a
+  // discipline measures ~0 loss over a short CI run, so clamp: loss at
+  // 1e-5, RTT at 1 ms, TO ratio at 1 (R_TO >= R by definition).
+  const auto mean_of = [&report](std::size_t setting, const std::string& name) {
+    const auto* metric = report.settings[setting].find(name);
+    return metric ? metric->ci().mean : 0.0;
+  };
+  const double sim_resolution =
+      1.0 / (25.0 * options.duration_s * static_cast<double>(options.runs));
+  const auto mc_seeds = exp::mc_stream(options.seed);
+
+  struct ModelRow {
+    double model_f_tau4 = 0.0;
+    RequiredDelayResult required{};
+  };
+  std::vector<ModelRow> model_rows(arms.size());
+  std::vector<obs::DivergenceSeries> series;
+  for (const auto& qdisc : qdiscs) {
+    obs::DivergenceSeries s;
+    s.name = "aqm_" + qdisc;
+    s.metric = "late_fraction_playback";
+    s.x_label = "tau_s";
+    s.tolerance.abs = sim_resolution;
+    s.tolerance.ratio = 10.0;
+    s.tolerance.within_ci = true;
+    series.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const auto& arm = arms[i];
+    ComposedParams params;
+    params.mu_pps = arm.mu_pps;
+    for (std::size_t j = 0; j < arm.paths; ++j) {
+      const std::string tag = "path" + std::to_string(j);
+      TcpChainParams chain;
+      chain.loss_rate = std::max(mean_of(i, tag + "_p"), 1e-5);
+      chain.rtt_s = std::max(mean_of(i, tag + "_rtt_ms") / 1e3, 1e-3);
+      chain.to_ratio = std::max(mean_of(i, tag + "_to"), 1.0);
+      chain.wmax = 20;
+      chain.ack_every = 1;
+      params.flows.push_back(chain);
+    }
+    const auto arm_seeds = mc_seeds.substream(i);
+    params.tau_s = 4.0;
+    DmpModelMonteCarlo mc(params, arm_seeds.at(0));
+    model_rows[i].model_f_tau4 =
+        mc.run(options.mc_max, options.mc_max / 10).late_fraction;
+    RequiredDelayOptions delay_options;
+    delay_options.min_consumptions = options.mc_min;
+    delay_options.max_consumptions = options.mc_max;
+    delay_options.tau_max_s = 90.0;
+    delay_options.seed = arm_seeds.at(1);
+    delay_options.shards = options.model_shards;
+    delay_options.threads = options.threads;
+    model_rows[i].required = required_startup_delay(params, delay_options);
+
+    const auto* f4 = report.settings[i].find("f_tau4");
+    const auto ci = f4 ? f4->ci() : ConfidenceInterval{};
+    const std::size_t q = static_cast<std::size_t>(
+        std::find(qdiscs.begin(), qdiscs.end(), arm.qdisc) - qdiscs.begin());
+    series[q].add(arm.name, 4.0, model_rows[i].model_f_tau4, ci.mean,
+                  ci.half_width);
+  }
+
+  CsvWriter csv(bench_output_dir() + "/aqm.csv",
+                {"setting", "qdisc", "paths", "mu_pps", "f_tau2", "f_tau4",
+                 "model_f_tau4", "required_tau_s", "feasible",
+                 "aqm_early_drops"});
+  std::printf("\n%-14s %3s %10s %10s %12s %13s %10s\n", "setting", "K",
+              "f(tau=2)", "f(tau=4)", "model f(4)", "required tau",
+              "early/run");
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const auto& arm = arms[i];
+    double early = 0.0;
+    for (std::size_t j = 0; j < arm.paths; ++j) {
+      early += mean_of(i, "path" + std::to_string(j) + "_aqm_early");
+    }
+    const auto& row = model_rows[i];
+    std::printf("%-14s %3zu %10.4g %10.4g %12.4g %10.0f s%s %10.1f\n",
+                arm.name.c_str(), arm.paths, mean_of(i, "f_tau2"),
+                mean_of(i, "f_tau4"), row.model_f_tau4, row.required.tau_s,
+                row.required.feasible ? "" : "+", early);
+    csv.row({arm.name, arm.qdisc, std::to_string(arm.paths),
+             CsvWriter::num(arm.mu_pps), CsvWriter::num(mean_of(i, "f_tau2")),
+             CsvWriter::num(mean_of(i, "f_tau4")),
+             CsvWriter::num(row.model_f_tau4),
+             CsvWriter::num(row.required.tau_s),
+             row.required.feasible ? "1" : "0", CsvWriter::num(early)});
+  }
+
+  for (auto& s : series) {
+    const auto dstats = s.stats();
+    std::printf("divergence %s: %zu point(s), %zu diverged, max|r|=%.3g\n",
+                s.name.c_str(), dstats.count, dstats.diverged,
+                dstats.max_abs_residual);
+    report.divergence.push_back(std::move(s));
+  }
+  std::printf("\nreading: the paper's Table-1 bottlenecks are heavily "
+              "oversubscribed by design, and their big droptail buffers are "
+              "load-bearing — AQM keeps the queue short (RTT drops ~3x) but "
+              "must push loss far higher to throttle the same background "
+              "flood, which drives the low-rate video TCP into timeouts and "
+              "RAISES the late fraction.  FQ-PIE caps every flow at its DRR "
+              "fair share, so the video flows cannot reclaim capacity "
+              "either.  Streaming-friendly AQM needs headroom, not "
+              "oversubscription.\n");
+  std::printf("CSV: %s/aqm.csv\n", bench_output_dir().c_str());
+  std::printf("JSON: %s\n", report.write_json().c_str());
+  return 0;
+}

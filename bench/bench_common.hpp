@@ -94,6 +94,9 @@ inline exp::ExperimentPlan plan_for(const std::string& name,
     // DMP_SCHED swaps the DMP dispatch policy for every session ("pull"
     // by default — the paper's scheme, byte-identical to the old code).
     config.scheduler = options.sched;
+    // DMP_QDISC swaps the bottleneck queue discipline for every session
+    // ("droptail" by default — the paper's queues, byte-identical).
+    config.qdisc = options.qdisc;
     plan.settings.push_back({setting.name, std::move(config)});
   }
   // Attach observability / flight recording to the very first replication;
@@ -129,9 +132,13 @@ inline exp::ExperimentPlan plan_for(const std::string& name,
 // probes (Section 2.2's sigma_k definition; see stream/session.hpp for why
 // video-stream-measured p would bias the model under drop-tail).  The
 // probe stream supplies one independent seed per probed path.
+// `qdisc` probes under the same bottleneck discipline the sessions ran
+// (default droptail), so per-qdisc model parameters reflect the loss/RTT
+// process that discipline actually produces.
 inline ComposedParams model_params_for(const ValidationSetting& setting,
                                        const SeedStream& probe_seeds,
-                                       double probe_duration_s = 1500.0) {
+                                       double probe_duration_s = 1500.0,
+                                       const std::string& qdisc = "droptail") {
   ComposedParams params;
   params.mu_pps = setting.mu_pps;
   auto to_chain = [](const BackloggedProbe& probe) {
@@ -146,15 +153,15 @@ inline ComposedParams model_params_for(const ValidationSetting& setting,
   if (setting.correlated) {
     const auto probes = measure_backlogged_paths(
         table1_config(setting.config_a), 2, probe_seeds.at(0),
-        probe_duration_s);
+        probe_duration_s, default_video_tcp(), qdisc);
     params.flows = {to_chain(probes[0]), to_chain(probes[1])};
   } else {
     const auto probe_a = measure_backlogged_paths(
         table1_config(setting.config_a), 1, probe_seeds.at(0),
-        probe_duration_s);
+        probe_duration_s, default_video_tcp(), qdisc);
     const auto probe_b = measure_backlogged_paths(
         table1_config(setting.config_b), 1, probe_seeds.at(1),
-        probe_duration_s);
+        probe_duration_s, default_video_tcp(), qdisc);
     params.flows = {to_chain(probe_a[0]), to_chain(probe_b[0])};
   }
   return params;

@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "exp/report.hpp"
+#include "net/qdisc/queue_discipline.hpp"
 #include "obs/divergence/divergence.hpp"
 #include "param_space.hpp"
 
@@ -17,6 +18,13 @@ using namespace dmp;
 
 int main() {
   const auto options = exp::bench_options();
+  // Fig. 9 is analytic (no packet simulation), so a qdisc cannot change
+  // its numbers — but a DMP_QDISC sweep driving all figures still gets a
+  // per-qdisc artifact identity here so the sweep's fig9 JSONs never
+  // overwrite the golden droptail one.
+  const QdiscSpec qdisc_spec = QdiscSpec::parse(options.qdisc);
+  const std::string qdisc_tag =
+      qdisc_spec.droptail() ? "" : std::string("_") + qdisc_spec.kind_name();
   const double to = 4.0, ratio = 1.6;
   bench::banner("Fig. 9: required startup delay for f < 1e-4 "
                 "(TO=4, sigma_a/mu=1.6)");
@@ -119,7 +127,7 @@ int main() {
   // with their ceiling-tau estimate but judged one-sided all the same;
   // omitted points never enter the series.
   obs::DivergenceSeries divergence;
-  divergence.name = "fig9";
+  divergence.name = "fig9" + qdisc_tag;
   divergence.metric = "late_fraction_at_tau";
   divergence.x_label = "tau_s";
   divergence.tolerance.one_sided = true;
@@ -139,7 +147,7 @@ int main() {
               "target at their returned tau\n",
               dstats.count, dstats.diverged, target);
   const std::string divergence_path =
-      bench_output_dir() + "/DIVERGENCE_fig9.json";
+      bench_output_dir() + "/DIVERGENCE_fig9" + qdisc_tag + ".json";
   if (obs::write_divergence_json({divergence}, divergence_path)) {
     std::printf("divergence: %s\n", divergence_path.c_str());
     exp::evaluate_slo_env(divergence_path);

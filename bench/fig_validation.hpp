@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "model/composed_chain.hpp"
+#include "net/qdisc/queue_discipline.hpp"
 #include "obs/divergence/divergence.hpp"
 
 namespace dmp::bench {
@@ -22,8 +23,15 @@ namespace dmp::bench {
 inline void run_validation_figure(const ValidationSetting& setting,
                                   const std::string& figure_name) {
   const auto options = exp::bench_options();
+  // Non-droptail runs get their own divergence-series identity
+  // ("fig4_pie", ...) so per-qdisc artifacts from the same bench binary
+  // never collide with the golden droptail series.
+  const QdiscSpec qdisc_spec = QdiscSpec::parse(options.qdisc);
+  const std::string qdisc_tag =
+      qdisc_spec.droptail() ? "" : std::string("_") + qdisc_spec.kind_name();
   banner(figure_name + " — Setting " + setting.name +
-         (setting.correlated ? " (correlated paths)" : " (independent paths)"));
+         (setting.correlated ? " (correlated paths)" : " (independent paths)") +
+         (qdisc_spec.droptail() ? "" : " [qdisc " + options.qdisc + "]"));
   std::printf("(%lld runs x %.0f s, mu = %.0f pkts/s, %zu threads)\n",
               static_cast<long long>(options.runs), options.duration_s,
               setting.mu_pps, exp::ExperimentRunner(options.threads).threads());
@@ -90,7 +98,8 @@ inline void run_validation_figure(const ValidationSetting& setting,
 
   // --- model curve (backlogged-probe parameters; see DESIGN.md) ---
   const auto model_base =
-      model_params_for(setting, exp::probe_stream(options.seed));
+      model_params_for(setting, exp::probe_stream(options.seed), 1500.0,
+                       options.qdisc);
   std::printf("\nmodel path parameters: ");
   for (const auto& flow : model_base.flows) {
     std::printf("(p=%.4f R=%.0fms TO=%.2f) ", flow.loss_rate,
@@ -114,7 +123,7 @@ inline void run_validation_figure(const ValidationSetting& setting,
   // recorded tolerance — within the sim's 95% CI, within the sim
   // resolution floor, or within a decade of the simulated mean.
   obs::DivergenceSeries divergence;
-  divergence.name = figure_name;
+  divergence.name = figure_name + qdisc_tag;
   divergence.metric = "late_fraction_playback";
   divergence.x_label = "tau_s";
   divergence.tolerance.abs = sim_resolution;

@@ -56,6 +56,25 @@ void BM_PacketLevelSession(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketLevelSession)->Unit(benchmark::kMillisecond);
 
+// Same session under each AQM discipline — the ratio against the droptail
+// arm above is the qdisc hot-path cost bench_guard.py rates (the lazy
+// controller stepping must not slow the per-packet path measurably).
+void BM_PacketLevelSessionQdisc(benchmark::State& state) {
+  static const char* const kQdiscs[] = {"droptail", "pie", "fq_pie", "codel"};
+  SessionConfig config;
+  config.path_configs = {table1_config(4), table1_config(4)};
+  config.mu_pps = 50.0;
+  config.duration_s = 30.0;
+  config.warmup_s = 5.0;
+  config.drain_s = 5.0;
+  config.seed = 11;
+  config.qdisc = kQdiscs[state.range(0)];
+  state.SetLabel(config.qdisc);
+  bench::run_session_arm(state, config);
+}
+BENCHMARK(BM_PacketLevelSessionQdisc)->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TcpChainBuildAndSolve(benchmark::State& state) {
   for (auto _ : state) {
     TcpChainParams params;

@@ -10,6 +10,12 @@ engine regresses:
     (runner-speed independent: the fast path must stay meaningfully ahead
     of the historical event loop it replaced).
 
+With --max-qdisc-overhead it additionally guards the AQM hot path: each
+BM_PacketLevelSessionQdisc arm (droptail/pie/fq_pie/codel, DenseRange 0-3)
+must process events within that fraction of BM_PacketLevelSessionQdisc/0
+(the droptail-through-the-interface baseline) from the same run — a ratio
+of two rates from one binary on one runner, so machine-speed independent.
+
 With --obs-report it additionally guards the streaming-telemetry overhead:
 BM_SessionTelemetryOn must process events within --max-obs-overhead
 (default 3%) of BM_SessionTelemetryOff from the same run.  The comparison
@@ -49,6 +55,30 @@ def best_items_per_second(report, name):
     return max(rates)
 
 
+QDISC_ARMS = {1: "pie", 2: "fq_pie", 3: "codel"}
+
+
+def check_qdisc_overhead(report, max_overhead):
+    """AQM arms must stay within max_overhead of the droptail arm."""
+    failures = []
+    base = best_items_per_second(report, "BM_PacketLevelSessionQdisc/0")
+    print(f"BM_PacketLevelSessionQdisc/0 (droptail): "
+          f"{base / 1e6:8.2f} M events/s")
+    for arm, name in sorted(QDISC_ARMS.items()):
+        rate = best_items_per_second(report,
+                                     f"BM_PacketLevelSessionQdisc/{arm}")
+        overhead = 1.0 - rate / base if base > 0 else float("inf")
+        print(f"BM_PacketLevelSessionQdisc/{arm} ({name}): "
+              f"{rate / 1e6:8.2f} M events/s  "
+              f"overhead {overhead * 100:.2f}%  "
+              f"(floor: {max_overhead * 100:.0f}%)")
+        if overhead > max_overhead:
+            failures.append(
+                f"{name} qdisc overhead {overhead * 100:.2f}% exceeds "
+                f"{max_overhead * 100:.0f}%")
+    return failures
+
+
 def check_obs_overhead(path, max_overhead):
     with open(path) as fh:
         report = json.load(fh)
@@ -73,6 +103,9 @@ def main():
     parser.add_argument("--obs-report", default=None,
                         help="perf_obs_overhead JSON to guard as well")
     parser.add_argument("--max-obs-overhead", type=float, default=0.03)
+    parser.add_argument("--max-qdisc-overhead", type=float, default=None,
+                        help="guard BM_PacketLevelSessionQdisc arms against "
+                             "the droptail arm (fraction, e.g. 0.10)")
     args = parser.parse_args()
 
     with open(args.report) as fh:
@@ -96,6 +129,8 @@ def main():
         failures.append(
             f"relative floor violated: {speedup:.2f}x < {args.min_speedup}x "
             "over the compat loop")
+    if args.max_qdisc_overhead is not None:
+        failures.extend(check_qdisc_overhead(report, args.max_qdisc_overhead))
     if args.obs_report:
         obs_failure = check_obs_overhead(args.obs_report,
                                          args.max_obs_overhead)

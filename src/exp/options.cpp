@@ -2,6 +2,7 @@
 
 #include "exp/compare/slo.hpp"
 #include "fault/fault_plan.hpp"
+#include "net/qdisc/queue_discipline.hpp"
 #include "stream/scheduler/path_scheduler.hpp"
 
 #include <cerrno>
@@ -29,6 +30,7 @@ const char* const kKnownVars[] = {
     "DMP_TABLE1_PROBE_S", "DMP_FAULTS",          "DMP_SANITIZE",
     "DMP_CHECK_BUILD_DIR", "DMP_TELEMETRY",      "DMP_TELEMETRY_WINDOW_S",
     "DMP_PROFILE",        "DMP_SLO",             "DMP_SCHED",
+    "DMP_QDISC",
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -148,6 +150,14 @@ BenchOptions BenchOptions::from_env() {
     }
     o.sched = v;
   }
+  if (const char* v = get("DMP_QDISC")) {
+    try {
+      QdiscSpec::parse(v);  // validation only; benches re-parse
+    } catch (const std::exception& e) {
+      fail("DMP_QDISC: " + std::string(e.what()));
+    }
+    o.qdisc = v;
+  }
   if (const char* v = get("DMP_FAULTS")) {
     try {
       fault::FaultPlan::parse(v);  // validation only; benches re-parse
@@ -190,6 +200,7 @@ std::string BenchOptions::summary() const {
                 trace ? 1 : 0, telemetry ? 1 : 0, profile);
   std::string out = buf;
   if (sched != "pull") out += " sched=" + sched;
+  if (qdisc != "droptail") out += " qdisc=" + qdisc;
   if (!faults.empty()) out += " faults='" + faults + "'";
   if (!slo.empty()) out += " slo=" + slo;
   return out;

@@ -50,6 +50,13 @@ struct BenchOptions {
   // | best_path | round_robin | redundant | parity-<k>).  Validated by
   // parsing here so a typo'd spec fails before any run starts.
   std::string sched = "pull";
+  // DMP_QDISC: bottleneck queue discipline applied to every simulated
+  // session a bench runs (src/net/qdisc/ grammar: droptail |
+  // pie[:target_ms[,tupdate_ms]] | fq_pie[:flows] |
+  // codel[:target_ms[,interval_ms]]).  Validated by parsing here so a
+  // typo'd spec fails before any run starts; "droptail" (the default) is
+  // byte-identical to the pre-qdisc benches.
+  std::string qdisc = "droptail";
   // DMP_FAULTS: fault-plan spec applied to every simulated session a bench
   // runs (src/fault/ grammar, e.g. "20 link_down path1; 25 link_up path1").
   // Validated by parsing here so a typo'd plan fails before any run starts.

@@ -37,6 +37,8 @@ inline constexpr std::uint64_t kEmul = 4;         // WAN-emulation seeds
 //        (model/required_delay.cpp)
 //   17 — Monte-Carlo shard seeds for run_sharded
 //        (model/composed_chain.cpp)
+//   18 — per-path AQM early-drop trial seeds, index = path number
+//        (stream/session.cpp; PIE / FQ-PIE Bernoulli draws)
 // Keep this registry in sync when adding either kind of stream.
 
 inline constexpr std::uint64_t stream(std::uint64_t kind,

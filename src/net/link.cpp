@@ -5,13 +5,23 @@
 namespace dmp {
 
 Link::Link(Scheduler& sched, LinkConfig config)
-    : sched_(sched), config_(config), base_config_(config) {
+    : sched_(sched),
+      config_(config),
+      base_config_(config),
+      qdisc_(make_queue_discipline(config.qdisc, config.buffer_packets)),
+      aqm_(!config.qdisc.droptail()) {
   if (config_.bandwidth_bps <= 0) {
     throw std::invalid_argument{"link bandwidth must be positive"};
   }
+  qdisc_->set_drain_rate(config_.bandwidth_bps);
+  qdisc_->set_drop_handler([this](const Packet& victim,
+                                  QdiscDropReason reason) {
+    on_qdisc_drop(victim, reason);
+  });
 }
 
-void Link::record_flight(const Packet& p, obs::FlightEventKind kind) {
+void Link::record_flight(const Packet& p, obs::FlightEventKind kind,
+                         std::size_t queue_depth, obs::DropCause cause) {
   obs::FlightEvent e;
   e.t_ns = sched_.now().ns();
   e.kind = kind;
@@ -19,19 +29,61 @@ void Link::record_flight(const Packet& p, obs::FlightEventKind kind) {
   e.path = static_cast<std::int32_t>(p.flow);
   e.hop = flight_hop_;
   e.seq = p.seq;
-  e.queue = static_cast<std::int64_t>(queue_.size());
+  e.queue = static_cast<std::int64_t>(queue_depth);
+  e.drop = cause;
   flight_->record(e);
+}
+
+// Every congestion discard — the arriving packet on a full/early-dropping
+// queue, a different victim (FQ-PIE overlimit) or a queued head (CoDel) —
+// funnels through here, so counters, metrics, the event log and the flight
+// recorder see AQM drops exactly the way they saw drop-tail ones.  The
+// drop-cause annotations are gated on `aqm_`: a droptail link's artifacts
+// stay byte-identical to the pre-qdisc implementation.
+void Link::on_qdisc_drop(const Packet& victim, QdiscDropReason reason) {
+  ++total_drops_;
+  ++per_flow_[victim.flow].drops;
+  if (m_drops_) m_drops_->inc();
+  if (m_early_drops_ && reason == QdiscDropReason::kEarly) {
+    m_early_drops_->inc();
+  }
+  if (ts_drops_) ts_drops_->bump(sched_.now());
+  if (event_log_ && event_log_->enabled(obs::Severity::kWarn)) {
+    if (aqm_) {
+      event_log_->record(
+          sched_.now().to_seconds(), obs::Severity::kWarn, "drop",
+          {obs::EventField::num("flow", victim.flow),
+           obs::EventField::num("seq", victim.seq),
+           obs::EventField::num("queue", qdisc_->len()),
+           obs::EventField::text("cause",
+                                 std::string(qdisc_drop_reason_name(reason)))});
+    } else {
+      event_log_->record(sched_.now().to_seconds(), obs::Severity::kWarn,
+                         "drop",
+                         {obs::EventField::num("flow", victim.flow),
+                          obs::EventField::num("seq", victim.seq),
+                          obs::EventField::num("queue", qdisc_->len())});
+    }
+  }
+  if (flight_ && victim.app_tag >= 0) {
+    record_flight(victim, obs::FlightEventKind::kLinkDrop, qdisc_->len(),
+                  aqm_ ? (reason == QdiscDropReason::kEarly
+                              ? obs::DropCause::kEarly
+                              : obs::DropCause::kOverlimit)
+                       : obs::DropCause::kNone);
+  }
 }
 
 void Link::send(const Packet& p) {
   ++total_arrivals_;
   if (m_arrivals_) m_arrivals_->inc();
-  auto& fc = per_flow_[p.flow];
-  ++fc.arrivals;
+  ++per_flow_[p.flow].arrivals;
 
   // Injected faults discard on arrival.  These are not congestion drops:
-  // they bypass the per-flow/total drop counters so the measured p_k keeps
-  // meaning "drop-tail loss", and are tallied in fault_drops_ instead.
+  // they bypass the qdisc (and its counters) entirely so the measured p_k
+  // keeps meaning "congestion loss", and are tallied in fault_drops_
+  // instead — fault_drops() stays disjoint from total_drops() under every
+  // discipline.
   if (down_ || burst_remaining_ > 0) {
     if (!down_) --burst_remaining_;
     ++fault_drops_;
@@ -43,45 +95,36 @@ void Link::send(const Packet& p) {
                           obs::EventField::num("down", down_ ? 1 : 0)});
     }
     if (flight_ && p.app_tag >= 0) {
-      record_flight(p, obs::FlightEventKind::kLinkDrop);
+      record_flight(p, obs::FlightEventKind::kLinkDrop, qdisc_->len());
     }
     return;
   }
 
-  if (!transmitting_ && queue_.empty()) {
+  // Idle bypass: an empty queue and a free transmitter put the packet
+  // straight on the wire — no discipline consulted, exactly like the
+  // pre-qdisc link (AQM only shapes a standing queue).
+  if (!transmitting_ && qdisc_->len() == 0) {
     if (flight_ && p.app_tag >= 0) {
-      record_flight(p, obs::FlightEventKind::kLinkEnqueue);
+      record_flight(p, obs::FlightEventKind::kLinkEnqueue, 0);
     }
     start_transmission(p);
     return;
   }
-  if (config_.buffer_packets != 0 && queue_.size() >= config_.buffer_packets) {
-    ++total_drops_;
-    ++fc.drops;
-    if (m_drops_) m_drops_->inc();
-    if (ts_drops_) ts_drops_->bump(sched_.now());
-    if (event_log_ && event_log_->enabled(obs::Severity::kWarn)) {
-      event_log_->record(sched_.now().to_seconds(), obs::Severity::kWarn,
-                         "drop",
-                         {obs::EventField::num("flow", p.flow),
-                          obs::EventField::num("seq", p.seq),
-                          obs::EventField::num("queue", queue_.size())});
-    }
-    if (flight_ && p.app_tag >= 0) {
-      record_flight(p, obs::FlightEventKind::kLinkDrop);
-    }
-    return;
-  }
+
+  const std::size_t depth = qdisc_->len();
+  if (!qdisc_->enqueue(p, sched_.now())) return;  // dropped + reported
   if (flight_ && p.app_tag >= 0) {
-    record_flight(p, obs::FlightEventKind::kLinkEnqueue);
+    // Pre-push depth, matching the legacy record-before-enqueue order.
+    record_flight(p, obs::FlightEventKind::kLinkEnqueue, depth);
   }
-  queue_.push_back(p);
-  if (ts_queue_) ts_queue_->add(sched_.now(), static_cast<double>(queue_.size()));
+  if (ts_queue_) {
+    ts_queue_->add(sched_.now(), static_cast<double>(qdisc_->len()));
+  }
 }
 
 void Link::start_transmission(const Packet& p) {
   if (flight_ && p.app_tag >= 0) {
-    record_flight(p, obs::FlightEventKind::kLinkDequeue);
+    record_flight(p, obs::FlightEventKind::kLinkDequeue, qdisc_->len());
   }
   transmitting_ = true;
   in_flight_ = p;
@@ -103,23 +146,24 @@ void Link::on_transmit_done() {
   }, EventCategory::kLinkDelivery);
   transmitting_ = false;
   // A downed link freezes its queue: the packet already on the wire
-  // completes, but nothing further dequeues until set_down(false).
-  if (!down_ && !queue_.empty()) {
-    const Packet next = queue_.front();
-    queue_.pop_front();
-    start_transmission(next);
-    if (ts_queue_) {
-      ts_queue_->add(sched_.now(), static_cast<double>(queue_.size()));
+  // completes, but nothing further dequeues until set_down(false).  CoDel
+  // may discard queued heads here and come back empty-handed.
+  if (!down_) {
+    Packet next;
+    if (qdisc_->dequeue(&next, sched_.now())) {
+      start_transmission(next);
+      if (ts_queue_) {
+        ts_queue_->add(sched_.now(), static_cast<double>(qdisc_->len()));
+      }
     }
   }
 }
 
 void Link::set_down(bool down) {
   down_ = down;
-  if (!down_ && !transmitting_ && !queue_.empty()) {
-    const Packet next = queue_.front();
-    queue_.pop_front();
-    start_transmission(next);
+  if (!down_ && !transmitting_) {
+    Packet next;
+    if (qdisc_->dequeue(&next, sched_.now())) start_transmission(next);
   }
 }
 
@@ -130,6 +174,8 @@ void Link::rescale(double bw_factor, double delay_factor) {
   config_.bandwidth_bps = base_config_.bandwidth_bps * bw_factor;
   config_.prop_delay = SimTime::nanos(static_cast<std::int64_t>(
       static_cast<double>(base_config_.prop_delay.ns()) * delay_factor));
+  // PIE's queue-delay estimate tracks the rescaled drain rate.
+  qdisc_->set_drain_rate(config_.bandwidth_bps);
 }
 
 LinkFlowCounters Link::flow_counters(FlowId flow) const {
@@ -142,8 +188,9 @@ void Link::attach_metrics(obs::MetricsRegistry& registry,
   m_arrivals_ = &registry.counter(prefix + ".arrivals");
   m_drops_ = &registry.counter(prefix + ".drops");
   m_delivered_ = &registry.counter(prefix + ".delivered");
+  if (aqm_) m_early_drops_ = &registry.counter(prefix + ".early_drops");
   registry.gauge(prefix + ".queue_depth")
-      .set_sampler([this] { return static_cast<double>(queue_.size()); });
+      .set_sampler([this] { return static_cast<double>(qdisc_->len()); });
 }
 
 double Link::utilization(SimTime elapsed) const {

@@ -1,14 +1,18 @@
-// Unidirectional link: a drop-tail FIFO feeding a fixed-rate transmitter
-// with constant propagation delay.  This is the ns-2 DropTail/DelayLink
-// pair in one object.
+// Unidirectional link: a pluggable queue discipline feeding a fixed-rate
+// transmitter with constant propagation delay.  With the default DropTail
+// discipline this is the ns-2 DropTail/DelayLink pair in one object,
+// byte-identical to the pre-qdisc implementation; PIE / FQ-PIE / CoDel
+// (src/net/qdisc/) swap the enqueue/drop decision without touching the
+// transmitter, fault hooks or observability.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "net/packet.hpp"
+#include "net/qdisc/queue_discipline.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -24,11 +28,15 @@ struct LinkConfig {
   // Queue capacity in packets (the paper's Table-1 buffers are in packets);
   // 0 means unbounded (used for access links that must never drop).
   std::size_t buffer_packets = 0;
+  // Queue discipline (default drop-tail; see src/net/qdisc/).  AQM
+  // disciplines that draw early-drop trials read `qdisc.seed`.
+  QdiscSpec qdisc{};
 };
 
 // Per-flow arrival/drop counters at the link's queue; the paper's measured
 // per-path loss probability p_k is drops/arrivals of the video flow at the
-// bottleneck.
+// bottleneck.  Under AQM, `drops` counts every congestion discard (early +
+// overlimit) — the loss process TCP actually sees.
 struct LinkFlowCounters {
   std::uint64_t arrivals = 0;
   std::uint64_t drops = 0;
@@ -41,10 +49,11 @@ class Link {
   // Downstream receiver; must be set before the first send.
   void set_receiver(PacketHandler receiver) { receiver_ = std::move(receiver); }
 
-  // Enqueue for transmission; may drop (drop-tail) when the buffer is full.
+  // Offer to the queue discipline; may drop (tail or AQM-early) on arrival,
+  // and AQM disciplines may additionally discard queued packets later.
   void send(const Packet& p);
 
-  std::size_t queue_length() const { return queue_.size(); }
+  std::size_t queue_length() const { return qdisc_->len(); }
   const LinkConfig& config() const { return config_; }
 
   // Aggregate and per-flow counters.
@@ -52,6 +61,11 @@ class Link {
   std::uint64_t total_drops() const { return total_drops_; }
   std::uint64_t total_delivered() const { return total_delivered_; }
   LinkFlowCounters flow_counters(FlowId flow) const;
+
+  // Queue-discipline identity and per-reason discard tallies
+  // (counters().early_drops stays 0 on a droptail link).
+  const char* qdisc_name() const { return qdisc_->name(); }
+  const QdiscCounters& qdisc_counters() const { return qdisc_->counters(); }
 
   // Busy-time integral, for utilization diagnostics.
   double utilization(SimTime elapsed) const;
@@ -76,10 +90,13 @@ class Link {
   // --- observability (all optional; no-ops when never called) ---
   // Registers `<prefix>.queue_depth` (gauge, samples this link) and
   // `<prefix>.{arrivals,drops,delivered}` (counters, incremented on the
-  // hot path alongside the local totals).
+  // hot path alongside the local totals).  Non-droptail links additionally
+  // register `<prefix>.early_drops` (AQM controller discards), so default
+  // runs export exactly the legacy metric set.
   void attach_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix);
-  // Emits a kWarn "drop" event per drop-tail discard.
+  // Emits a kWarn "drop" event per congestion discard ("fault_drop" for
+  // injected ones).
   void set_event_log(obs::EventLog* log) { event_log_ = log; }
   // Records per-stream-packet queue entry/exit/drop span events (packets
   // with app_tag < 0 — ACKs, background traffic — are ignored).  `hop`
@@ -89,7 +106,7 @@ class Link {
     flight_hop_ = hop;
   }
   // Windowed telemetry channels (any may be null): packets forwarded per
-  // window, drop-tail discards per window, and queue-depth samples taken
+  // window, congestion discards per window, and queue-depth samples taken
   // on every enqueue/dequeue.  Null pointers keep the hot path identical
   // to an uninstrumented link.
   void set_telemetry(obs::TimeSeriesChannel* delivered,
@@ -103,12 +120,18 @@ class Link {
  private:
   void start_transmission(const Packet& p);
   void on_transmit_done();
+  void dequeue_next();
+  void on_qdisc_drop(const Packet& victim, QdiscDropReason reason);
 
   Scheduler& sched_;
   LinkConfig config_;
   const LinkConfig base_config_;  // rescale() factors are relative to this
   PacketHandler receiver_;
-  std::deque<Packet> queue_;
+  std::unique_ptr<QueueDiscipline> qdisc_;
+  // True for non-droptail disciplines: gates the AQM-only observability
+  // (drop-cause trace field, early-drop counter, event-log reason) so the
+  // default configuration's artifacts stay byte-identical to pre-qdisc.
+  const bool aqm_;
   bool transmitting_ = false;
   Packet in_flight_{};
 
@@ -122,10 +145,13 @@ class Link {
   SimTime busy_time_ = SimTime::zero();
   std::unordered_map<FlowId, LinkFlowCounters> per_flow_;
 
-  void record_flight(const Packet& p, obs::FlightEventKind kind);
+  void record_flight(const Packet& p, obs::FlightEventKind kind,
+                     std::size_t queue_depth,
+                     obs::DropCause cause = obs::DropCause::kNone);
 
   obs::Counter* m_arrivals_ = nullptr;
   obs::Counter* m_drops_ = nullptr;
+  obs::Counter* m_early_drops_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
   obs::EventLog* event_log_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;

@@ -1,0 +1,98 @@
+#include "net/qdisc/codel.hpp"
+
+#include <cmath>
+
+namespace dmp {
+
+CoDelQdisc::CoDelQdisc(std::size_t buffer_packets, CoDelParams params)
+    : buffer_packets_(buffer_packets), params_(params) {}
+
+SimTime CoDelQdisc::control_law(SimTime t) const {
+  return t + SimTime::seconds(params_.interval_s /
+                              std::sqrt(static_cast<double>(count_)));
+}
+
+bool CoDelQdisc::pop_head(SimTime now, Packet* out, bool* ok_to_drop) {
+  if (queue_.empty()) {
+    has_first_above_ = false;
+    return false;
+  }
+  const Entry head = queue_.front();
+  queue_.pop_front();
+  *out = head.packet;
+  const double sojourn_s = (now - head.enqueued).to_seconds();
+  if (sojourn_s < params_.target_s || queue_.empty()) {
+    // Back below target (or backlog gone): leave/stay out of the above-
+    // target tracking.
+    has_first_above_ = false;
+    *ok_to_drop = false;
+  } else if (!has_first_above_) {
+    // First sojourn above target: arm the interval timer; only if the
+    // excursion outlasts a full interval does dropping become OK.
+    has_first_above_ = true;
+    first_above_ = now + SimTime::seconds(params_.interval_s);
+    *ok_to_drop = false;
+  } else {
+    *ok_to_drop = now >= first_above_;
+  }
+  return true;
+}
+
+bool CoDelQdisc::enqueue(const Packet& p, SimTime now) {
+  if (buffer_packets_ != 0 && queue_.size() >= buffer_packets_) {
+    drop(p, QdiscDropReason::kOverlimit);
+    return false;
+  }
+  queue_.push_back({p, now});
+  return true;
+}
+
+bool CoDelQdisc::dequeue(Packet* out, SimTime now) {
+  bool ok_to_drop = false;
+  if (!pop_head(now, out, &ok_to_drop)) {
+    dropping_ = false;
+    return false;
+  }
+  if (dropping_) {
+    if (!ok_to_drop) {
+      dropping_ = false;
+    } else {
+      // Discard heads at the control-law instants until one is under
+      // target (or the schedule catches up with `now`).
+      while (dropping_ && now >= drop_next_) {
+        ++count_;
+        drop(*out, QdiscDropReason::kEarly);
+        if (!pop_head(now, out, &ok_to_drop)) {
+          dropping_ = false;
+          return false;
+        }
+        if (!ok_to_drop) {
+          dropping_ = false;
+        } else {
+          drop_next_ = control_law(drop_next_);
+        }
+      }
+    }
+  } else if (ok_to_drop) {
+    // Enter the dropping state: this head is the first casualty, and the
+    // next packet out rides normally.
+    drop(*out, QdiscDropReason::kEarly);
+    const bool again = pop_head(now, out, &ok_to_drop);
+    dropping_ = true;
+    // Resume from the previous rate when re-entering soon after leaving.
+    const std::uint32_t delta = count_ - lastcount_;
+    count_ = (delta > 1 &&
+              (now - drop_next_).to_seconds() < 16.0 * params_.interval_s)
+                 ? delta
+                 : 1;
+    drop_next_ = control_law(now);
+    lastcount_ = count_;
+    if (!again) {
+      dropping_ = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmp

@@ -1,0 +1,68 @@
+// CoDel — Controlled Delay (RFC 8289).
+//
+// Each packet is stamped on enqueue; at dequeue its sojourn time is
+// compared to `target` (5 ms).  Once the sojourn has stayed above target
+// for a full `interval` (100 ms) the qdisc enters the dropping state and
+// discards heads at instants spaced by interval / sqrt(count), leaving the
+// state as soon as a head's sojourn dips below target (or the backlog
+// empties).  Re-entering shortly after leaving resumes from the previous
+// drop rate instead of restarting from 1.
+//
+// CoDel is fully deterministic — no RNG, no timers: all state advances at
+// enqueue/dequeue instants, so DES runs are a pure function of the
+// arrival sequence.  Drops happen at DEQUEUE (the head is discarded and
+// the next packet considered), which is why the Link must treat a false
+// dequeue() as "nothing to send" even when packets were queued a moment
+// earlier.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/qdisc/queue_discipline.hpp"
+
+namespace dmp {
+
+struct CoDelParams {
+  double target_s = kCoDelDefaultTargetS;
+  double interval_s = kCoDelDefaultIntervalS;
+};
+
+class CoDelQdisc final : public QueueDiscipline {
+ public:
+  CoDelQdisc(std::size_t buffer_packets, CoDelParams params);
+
+  const char* name() const override { return "codel"; }
+  bool enqueue(const Packet& p, SimTime now) override;
+  bool dequeue(Packet* out, SimTime now) override;
+  std::size_t len() const override { return queue_.size(); }
+
+  // Control-law state, exposed for the state-machine test.
+  bool dropping() const { return dropping_; }
+  std::uint32_t drop_count() const { return count_; }
+  SimTime drop_next() const { return drop_next_; }
+
+ private:
+  struct Entry {
+    Packet packet;
+    SimTime enqueued;
+  };
+
+  // RFC 8289 dodeque(): pops the head and decides whether the dropping
+  // condition holds at `now`.  Returns false when the queue is empty.
+  bool pop_head(SimTime now, Packet* out, bool* ok_to_drop);
+  SimTime control_law(SimTime t) const;
+
+  std::size_t buffer_packets_;
+  CoDelParams params_;
+  std::deque<Entry> queue_;
+
+  bool dropping_ = false;
+  bool has_first_above_ = false;
+  SimTime first_above_ = SimTime::zero();
+  SimTime drop_next_ = SimTime::zero();
+  std::uint32_t count_ = 0;
+  std::uint32_t lastcount_ = 0;
+};
+
+}  // namespace dmp

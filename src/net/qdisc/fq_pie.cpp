@@ -1,0 +1,133 @@
+#include "net/qdisc/fq_pie.hpp"
+
+namespace dmp {
+
+namespace {
+
+// SplitMix64 finalizer: spreads adjacent flow ids (video flows are 0..K-1,
+// background flows 1000, 1001, ...) across the bucket space.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+FqPieQdisc::FqPieQdisc(std::size_t buffer_packets, int flows,
+                       PieParams params, std::uint64_t seed)
+    : buffer_packets_(buffer_packets), params_(params), rng_(seed) {
+  buckets_.reserve(static_cast<std::size_t>(flows));
+  for (int i = 0; i < flows; ++i) buckets_.emplace_back(params_);
+}
+
+std::size_t FqPieQdisc::bucket_of(FlowId flow) const {
+  return static_cast<std::size_t>(mix(flow) % buckets_.size());
+}
+
+double FqPieQdisc::bucket_delay_s(const Bucket& b, SimTime now) const {
+  if (b.queue.empty()) return 0.0;
+  return (now - b.queue.front().enqueued).to_seconds();
+}
+
+void FqPieQdisc::advance(SimTime now) {
+  const SimTime tupdate = SimTime::seconds(params_.tupdate_s);
+  if (!clock_started_) {
+    clock_started_ = true;
+    next_update_ = now + tupdate;
+    return;
+  }
+  int steps = 0;
+  while (now >= next_update_ && steps < 65536) {
+    // Step every bucket on the shared tupdate clock; the qdelay each
+    // controller sees is its own head sojourn at the tick instant.
+    for (auto& b : buckets_) b.pie.step(bucket_delay_s(b, next_update_));
+    next_update_ += tupdate;
+    ++steps;
+  }
+  if (now >= next_update_) next_update_ = now + tupdate;
+}
+
+bool FqPieQdisc::should_early_drop(const Bucket& b) {
+  if (b.pie.burst_allowance_s() > 0.0) return false;
+  const double p = b.pie.drop_prob();
+  if (p == 0.0) return false;
+  if (b.pie.qdelay_old_s() < params_.target_s / 2.0 && p < 0.2) return false;
+  if (b.queue.size() < 2) return false;
+  return rng_.uniform() < p;
+}
+
+void FqPieQdisc::activate(std::size_t index) {
+  Bucket& b = buckets_[index];
+  if (b.active) return;
+  b.active = true;
+  b.deficit = static_cast<std::int64_t>(kDataPacketBytes);
+  active_.push_back(index);
+}
+
+void FqPieQdisc::drop_from_longest() {
+  std::size_t victim = 0;
+  std::size_t longest = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].queue.size() > longest) {
+      longest = buckets_[i].queue.size();
+      victim = i;
+    }
+  }
+  if (longest == 0) return;
+  Bucket& b = buckets_[victim];
+  const Packet head = b.queue.front().packet;
+  b.queue.pop_front();
+  --total_len_;
+  drop(head, QdiscDropReason::kOverlimit);
+}
+
+bool FqPieQdisc::enqueue(const Packet& p, SimTime now) {
+  advance(now);
+  const std::size_t index = bucket_of(p.flow);
+  Bucket& b = buckets_[index];
+  if (should_early_drop(b)) {
+    drop(p, QdiscDropReason::kEarly);
+    return false;
+  }
+  // Overlimit: make room BEFORE admitting, so the victim is always an
+  // already-queued head (never the arrival) and the Link's enqueue/drop
+  // trace events stay coherent per packet.
+  if (buffer_packets_ != 0 && total_len_ >= buffer_packets_) {
+    drop_from_longest();
+  }
+  b.queue.push_back({p, now});
+  ++total_len_;
+  activate(index);
+  return true;
+}
+
+bool FqPieQdisc::dequeue(Packet* out, SimTime) {
+  while (!active_.empty()) {
+    const std::size_t index = active_.front();
+    Bucket& b = buckets_[index];
+    if (b.queue.empty()) {
+      b.active = false;
+      active_.pop_front();
+      continue;
+    }
+    if (b.deficit <= 0) {
+      b.deficit += static_cast<std::int64_t>(kDataPacketBytes);
+      active_.pop_front();
+      active_.push_back(index);
+      continue;
+    }
+    const Entry head = b.queue.front();
+    b.queue.pop_front();
+    --total_len_;
+    b.deficit -= static_cast<std::int64_t>(head.packet.size_bytes);
+    *out = head.packet;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dmp

@@ -1,0 +1,108 @@
+#include "net/qdisc/pie.hpp"
+
+#include <algorithm>
+
+namespace dmp {
+
+PieController::PieController(PieParams params)
+    : params_(params), burst_allowance_s_(params.max_burst_s) {}
+
+void PieController::step(double qdelay_s) {
+  // RFC 8033 §5.2 auto-scaling: while p is tiny the correction is scaled
+  // down so the controller creeps rather than oscillates, ramping to full
+  // strength as p grows.
+  double p = drop_prob_;
+  double factor = 1.0;
+  if (p < 1e-6) {
+    factor = 1.0 / 2048.0;
+  } else if (p < 1e-5) {
+    factor = 1.0 / 512.0;
+  } else if (p < 1e-4) {
+    factor = 1.0 / 128.0;
+  } else if (p < 1e-3) {
+    factor = 1.0 / 32.0;
+  } else if (p < 0.01) {
+    factor = 1.0 / 8.0;
+  } else if (p < 0.1) {
+    factor = 1.0 / 2.0;
+  }
+  double delta = factor * (params_.alpha * (qdelay_s - params_.target_s) +
+                           params_.beta * (qdelay_s - qdelay_old_s_));
+  // Cap the per-update ramp once p is already high (RFC 8033 §5.2).
+  if (delta > 0.02 && p >= 0.1) delta = 0.02;
+  p += delta;
+  // Exponential decay toward zero when the queue has fully drained.
+  if (qdelay_s == 0.0 && qdelay_old_s_ == 0.0) p *= 0.98;
+  drop_prob_ = std::clamp(p, 0.0, 1.0);
+  qdelay_old_s_ = qdelay_s;
+  if (burst_allowance_s_ > 0.0) {
+    burst_allowance_s_ =
+        std::max(0.0, burst_allowance_s_ - params_.tupdate_s);
+  } else if (drop_prob_ == 0.0 && qdelay_s == 0.0 && qdelay_old_s_ == 0.0) {
+    // Idle reset: a fresh burst after a fully quiet period is re-protected.
+    burst_allowance_s_ = params_.max_burst_s;
+  }
+}
+
+PieQdisc::PieQdisc(std::size_t buffer_packets, PieParams params,
+                   std::uint64_t seed)
+    : buffer_packets_(buffer_packets), controller_(params), rng_(seed) {}
+
+void PieQdisc::advance(SimTime now) {
+  const SimTime tupdate = SimTime::seconds(controller_.params().tupdate_s);
+  if (!clock_started_) {
+    clock_started_ = true;
+    next_update_ = now + tupdate;
+    return;
+  }
+  // Lazy stepping: run every tupdate tick the arrival clock has passed.
+  // The iteration cap only matters after minutes of total link silence
+  // (by which point p has decayed to ~0 anyway) and keeps a pathological
+  // gap from stalling the enqueue.
+  int steps = 0;
+  while (now >= next_update_ && steps < 65536) {
+    controller_.step(queue_delay_s());
+    next_update_ += tupdate;
+    ++steps;
+  }
+  if (now >= next_update_) next_update_ = now + tupdate;
+}
+
+bool PieQdisc::should_early_drop() {
+  // RFC 8033 §5.1 safeguards, checked before any randomness so admitted
+  // packets consume no RNG state.
+  if (controller_.burst_allowance_s() > 0.0) return false;
+  const double p = controller_.drop_prob();
+  if (p == 0.0) return false;
+  if (controller_.qdelay_old_s() < controller_.params().target_s / 2.0 &&
+      p < 0.2) {
+    return false;
+  }
+  if (queue_.size() < 2) return false;  // always admit into a near-empty queue
+  return rng_.uniform() < p;
+}
+
+bool PieQdisc::enqueue(const Packet& p, SimTime now) {
+  advance(now);
+  if (buffer_packets_ != 0 && queue_.size() >= buffer_packets_) {
+    drop(p, QdiscDropReason::kOverlimit);
+    return false;
+  }
+  if (should_early_drop()) {
+    drop(p, QdiscDropReason::kEarly);
+    return false;
+  }
+  queue_.push_back(p);
+  queued_bytes_ += static_cast<std::uint64_t>(p.size_bytes);
+  return true;
+}
+
+bool PieQdisc::dequeue(Packet* out, SimTime) {
+  if (queue_.empty()) return false;
+  *out = queue_.front();
+  queue_.pop_front();
+  queued_bytes_ -= static_cast<std::uint64_t>(out->size_bytes);
+  return true;
+}
+
+}  // namespace dmp

@@ -1,0 +1,93 @@
+// PIE — Proportional Integral controller Enhanced (RFC 8033).
+//
+// The controller keeps a drop probability `p` that it nudges every
+// `tupdate` toward holding the queueing delay at `target`:
+//
+//   p += factor * (alpha * (qdelay - target) + beta * (qdelay - qdelay_old))
+//
+// where `factor` is RFC 8033's auto-scaling table (tiny corrections while
+// p is tiny, full-strength ones once p is large), p decays by 0.98 per
+// update when the queue has fully drained, and a 150 ms burst allowance
+// admits short bursts un-dropped.  Enqueues are admitted or early-dropped
+// by a Bernoulli(p) trial, subject to the RFC's safeguards (small queue,
+// low delay + low p, unexpired burst allowance).
+//
+// Determinism: the DES has no background timer, so the controller is
+// stepped lazily — each enqueue first advances the update clock to `now`.
+// The queueing delay estimate is queued_bytes * 8 / drain_rate (the
+// departure-rate estimator of the RFC collapses to this under a
+// fixed-rate transmitter).  Early-drop trials draw from a per-link Rng
+// seeded by the session (seed_domain kind 18), consumed ONLY when a trial
+// actually runs, so droptail and AQM runs share no random state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/qdisc/queue_discipline.hpp"
+#include "util/rng.hpp"
+
+namespace dmp {
+
+struct PieParams {
+  double target_s = kPieDefaultTargetS;
+  double tupdate_s = kPieDefaultTupdateS;
+  double alpha = kPieAlpha;
+  double beta = kPieBeta;
+  double max_burst_s = kPieMaxBurstS;
+};
+
+// The drop-probability controller alone, so the differential test can
+// hand-step it against the RFC 8033 pseudocode without a queue.
+class PieController {
+ public:
+  explicit PieController(PieParams params);
+
+  // One tupdate tick with the current queueing-delay estimate.
+  void step(double qdelay_s);
+
+  double drop_prob() const { return drop_prob_; }
+  double qdelay_old_s() const { return qdelay_old_s_; }
+  double burst_allowance_s() const { return burst_allowance_s_; }
+  const PieParams& params() const { return params_; }
+
+ private:
+  PieParams params_;
+  double drop_prob_ = 0.0;
+  double qdelay_old_s_ = 0.0;
+  double burst_allowance_s_;
+};
+
+class PieQdisc final : public QueueDiscipline {
+ public:
+  PieQdisc(std::size_t buffer_packets, PieParams params, std::uint64_t seed);
+
+  const char* name() const override { return "pie"; }
+  bool enqueue(const Packet& p, SimTime now) override;
+  bool dequeue(Packet* out, SimTime now) override;
+  std::size_t len() const override { return queue_.size(); }
+  void set_drain_rate(double bps) override { drain_bps_ = bps; }
+
+  // Queueing-delay estimate the controller sees (exposed for tests).
+  double queue_delay_s() const {
+    return drain_bps_ > 0.0
+               ? static_cast<double>(queued_bytes_) * 8.0 / drain_bps_
+               : 0.0;
+  }
+  const PieController& controller() const { return controller_; }
+
+ private:
+  void advance(SimTime now);
+  bool should_early_drop();
+
+  std::size_t buffer_packets_;
+  PieController controller_;
+  Rng rng_;
+  std::deque<Packet> queue_;
+  std::uint64_t queued_bytes_ = 0;
+  double drain_bps_ = 0.0;
+  bool clock_started_ = false;
+  SimTime next_update_ = SimTime::zero();
+};
+
+}  // namespace dmp

@@ -8,7 +8,7 @@ DumbbellPath::DumbbellPath(Scheduler& sched, BottleneckConfig bottleneck,
   // Forward: shared bottleneck -> exit access link -> per-flow demux.
   bottleneck_ = std::make_unique<Link>(
       sched_, LinkConfig{bottleneck.bandwidth_bps, bottleneck.prop_delay,
-                         bottleneck.buffer_packets});
+                         bottleneck.buffer_packets, bottleneck.qdisc});
   exit_ = std::make_unique<Link>(
       sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
   bottleneck_->set_receiver([this](const Packet& p) { exit_->send(p); });

@@ -27,6 +27,10 @@ struct BottleneckConfig {
   double bandwidth_bps = 3.7e6;
   SimTime prop_delay = SimTime::millis(40);
   std::size_t buffer_packets = 50;
+  // Queue discipline at the bottleneck (default drop-tail).  Access and
+  // reverse links always stay droptail-unbounded: they never congest, so
+  // AQM there would be dead state.
+  QdiscSpec qdisc{};
 };
 
 struct AccessConfig {

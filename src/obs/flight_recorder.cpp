@@ -48,6 +48,15 @@ std::string_view rtx_reason_name(RtxReason reason) {
   return "?";
 }
 
+std::string_view drop_cause_name(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNone: return "none";
+    case DropCause::kOverlimit: return "overlimit";
+    case DropCause::kEarly: return "early";
+  }
+  return "?";
+}
+
 void FlightRecorder::to_jsonl(std::ostream& out) const {
   std::string line;
   line += "{\"ev\":\"meta\",\"version\":1,\"mu_pps\":";
@@ -92,6 +101,11 @@ void FlightRecorder::to_jsonl(std::ostream& out) const {
     if (e.reason != RtxReason::kNone) {
       line += ",\"reason\":\"";
       line += rtx_reason_name(e.reason);
+      line += '"';
+    }
+    if (e.drop != DropCause::kNone) {
+      line += ",\"drop\":\"";
+      line += drop_cause_name(e.drop);
       line += '"';
     }
     if (e.kind == FlightEventKind::kTcpSend ||

@@ -64,6 +64,16 @@ enum class RtxReason : std::uint8_t { kNone = 0, kFastRtx = 1, kRtoRtx = 2 };
 
 std::string_view rtx_reason_name(RtxReason reason);
 
+// Which queue-discipline decision discarded the packet (kLinkDrop events
+// on AQM links): "overlimit" = buffer-limit discard, "early" = AQM
+// controller decision with buffer room to spare.  kNone — the default,
+// and the only value drop-tail links emit — keeps the field out of the
+// serialized form entirely, so pre-AQM golden traces stay byte-identical
+// (docs/OBSERVABILITY.md, drop-reason taxonomy).
+enum class DropCause : std::uint8_t { kNone = 0, kOverlimit = 1, kEarly = 2 };
+
+std::string_view drop_cause_name(DropCause cause);
+
 // One span event.  Fields are kind-specific; unused ones keep their
 // sentinel defaults and are omitted from the serialized form.
 struct FlightEvent {
@@ -76,6 +86,7 @@ struct FlightEvent {
   std::int64_t queue = -1;    // queue depth at gen/pull/link events
   std::uint32_t attempt = 0;  // kTcpSend: times this segment has been sent
   RtxReason reason = RtxReason::kNone;  // kTcpSend with attempt > 1
+  DropCause drop = DropCause::kNone;    // kLinkDrop on AQM links
   double cwnd = 0.0;          // kTcpSend / kRto congestion snapshot
   double ssthresh = 0.0;
 };

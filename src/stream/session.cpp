@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "fault/fault_injector.hpp"
+#include "net/qdisc/queue_discipline.hpp"
 #include "net/topology.hpp"
 #include "obs/probe.hpp"
 #include "obs/run_report.hpp"
@@ -14,6 +15,7 @@
 #include "stream/stream_server.hpp"
 #include "tcp/connection.hpp"
 #include "util/rng.hpp"
+#include "util/seed_stream.hpp"
 
 namespace dmp {
 
@@ -22,6 +24,19 @@ namespace {
 // Registers the scheduler's work counters as sampler gauges so probes can
 // plot event-rate over time (the scheduler itself stays obs-free to keep
 // the sim -> obs dependency one-directional).
+// Seed-stream kind for AQM early-drop trials (registered in
+// src/exp/plan.hpp): per-path Rng roots disjoint from every other random
+// quantity the session derives from its seed.
+constexpr std::uint64_t kQdiscSeedDomain = 18ULL << 32;
+
+// The validated spec for path `index`, with its per-path trial seed.
+QdiscSpec qdisc_for_path(const QdiscSpec& spec, std::uint64_t session_seed,
+                         std::size_t index) {
+  QdiscSpec out = spec;
+  out.seed = SeedStream(session_seed, kQdiscSeedDomain).at(index);
+  return out;
+}
+
 void attach_scheduler_gauges(obs::MetricsRegistry& registry,
                              const Scheduler& sched) {
   registry.gauge("sched.events_pending").set_sampler([&sched] {
@@ -56,6 +71,8 @@ SessionResult run_session(const SessionConfig& config) {
   // deliveries through the exactly-once filter; everything else keeps the
   // direct callback path (no allocation, no behavior change).
   const SchedulerSpec scheduler_spec = SchedulerSpec::parse(config.scheduler);
+  // Same fail-fast discipline for the bottleneck queue spec.
+  const QdiscSpec qdisc_spec = QdiscSpec::parse(config.qdisc);
   const bool dedup = config.scheme == StreamScheme::kDmp &&
                      scheduler_spec.redundant();
   std::unique_ptr<RedundancyFilter> redundancy;
@@ -100,8 +117,9 @@ SessionResult run_session(const SessionConfig& config) {
   std::vector<std::unique_ptr<DumbbellPath>> paths;
   std::vector<std::unique_ptr<BackgroundTraffic>> background;
   for (std::size_t i = 0; i < config.path_configs.size(); ++i) {
-    paths.push_back(std::make_unique<DumbbellPath>(
-        sched, config.path_configs[i].bottleneck()));
+    BottleneckConfig bottleneck = config.path_configs[i].bottleneck();
+    bottleneck.qdisc = qdisc_for_path(qdisc_spec, config.seed, i);
+    paths.push_back(std::make_unique<DumbbellPath>(sched, bottleneck));
     if (registry) {
       const std::string prefix = "link.path" + std::to_string(i);
       paths.back()->bottleneck().attach_metrics(*registry, prefix);
@@ -333,6 +351,7 @@ SessionResult run_session(const SessionConfig& config) {
     m.rtt_s = video[k].sender->stats().mean_rtt_s();
     m.to_ratio = video[k].sender->stats().normalized_timeout();
     m.share = split[k];
+    m.aqm_early_drops = path.bottleneck().qdisc_counters().early_drops;
     m.tcp = video[k].sender->stats();
     result.paths.push_back(m);
   }
@@ -375,6 +394,24 @@ SessionResult run_session(const SessionConfig& config) {
     report.set_text("scheme", server->scheme_name());
     if (*server->scheduler_name() != '\0') {
       report.set_text("scheduler", server->scheduler_name());
+    }
+    // Qdisc identity + AQM discard tallies only when one actually ran, so
+    // droptail reports stay byte-identical to pre-qdisc artifacts.
+    if (!qdisc_spec.droptail()) {
+      report.set_text("qdisc", qdisc_spec.kind_name());
+      std::uint64_t early = 0;
+      std::uint64_t overlimit = 0;
+      std::vector<double> per_path_early;
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        const auto& counters = paths[i]->bottleneck().qdisc_counters();
+        early += counters.early_drops;
+        overlimit += counters.overlimit_drops;
+        per_path_early.push_back(static_cast<double>(counters.early_drops));
+      }
+      report.set_scalar("aqm_early_drops", static_cast<std::int64_t>(early));
+      report.set_scalar("aqm_overlimit_drops",
+                        static_cast<std::int64_t>(overlimit));
+      report.set_series("path_aqm_early_drops", per_path_early);
     }
     if (dedup) {
       report.set_scalar("duplicates_sent",
@@ -467,13 +504,15 @@ SessionResult run_session(const SessionConfig& config) {
 
 std::vector<BackloggedProbe> measure_backlogged_paths(
     const PathConfig& config, std::size_t num_probe_flows, std::uint64_t seed,
-    double duration_s, const TcpConfig& probe_tcp) {
+    double duration_s, const TcpConfig& probe_tcp, const std::string& qdisc) {
   if (num_probe_flows == 0) {
     throw std::invalid_argument{"need at least one probe flow"};
   }
   Scheduler sched;
   Rng rng(seed);
-  DumbbellPath path(sched, config.bottleneck());
+  BottleneckConfig bottleneck = config.bottleneck();
+  bottleneck.qdisc = qdisc_for_path(QdiscSpec::parse(qdisc), seed, 0);
+  DumbbellPath path(sched, bottleneck);
   BackgroundTraffic background(sched, path, config, 1000, rng.fork());
 
   TcpConfig tcp = probe_tcp;

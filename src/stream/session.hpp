@@ -60,6 +60,14 @@ struct SessionConfig {
   // Redundant policies route client deliveries through a RedundancyFilter
   // for exactly-once trace recording.  Static / stored schemes ignore it.
   std::string scheduler = "pull";
+  // Bottleneck queue discipline (src/net/qdisc/ spec grammar, the
+  // DMP_QDISC bench knob): droptail | pie[:target_ms[,tupdate_ms]] |
+  // fq_pie[:flows] | codel[:target_ms[,interval_ms]].  Parsed and
+  // validated before any network is built; applied to EVERY path's
+  // bottleneck, with per-path early-drop RNG seeds derived from `seed`
+  // (seed-stream kind 18, disjoint from all session randomness).  The
+  // default reproduces the paper's drop-tail bottlenecks byte-identically.
+  std::string qdisc = "droptail";
   // Fault schedule (src/fault/ spec grammar, e.g.
   // "20 link_down path1; 25 link_up path1"), times relative to the video
   // epoch.  Targets name paths ("path<k>"); link faults hit path k's
@@ -95,6 +103,9 @@ struct PathMeasurement {
   double rtt_s = 0.0;       // R_k: mean Karn-filtered RTT sample
   double to_ratio = 0.0;    // TO_k = R_TO / R_k
   double share = 0.0;       // fraction of the stream carried by this path
+  // AQM controller discards at this path's bottleneck, all flows (0 on
+  // droptail paths; a subset of the drops behind loss_rate's numerator).
+  std::uint64_t aqm_early_drops = 0;
   TcpSenderStats tcp{};
 };
 
@@ -170,9 +181,13 @@ struct BackloggedProbe {
   double throughput_pps = 0.0;
 };
 
+// `qdisc` puts the probe's bottleneck under the same discipline as the
+// session it parameterizes (spec grammar as SessionConfig::qdisc), so the
+// model sees the loss/RTT process AQM actually produces.
 std::vector<BackloggedProbe> measure_backlogged_paths(
     const PathConfig& config, std::size_t num_probe_flows, std::uint64_t seed,
     double duration_s = 1500.0,
-    const TcpConfig& probe_tcp = default_video_tcp());
+    const TcpConfig& probe_tcp = default_video_tcp(),
+    const std::string& qdisc = "droptail");
 
 }  // namespace dmp

@@ -23,7 +23,8 @@ class OptionsTest : public ::testing::Test {
           "DMP_MC_MAX", "DMP_THREADS", "DMP_OBS", "DMP_OBS_PROBE_S",
           "DMP_TRACE", "DMP_OUT_DIR", "DMP_FIG7_DURATION_S",
           "DMP_TABLE1_PROBE_S", "DMP_FAULTS", "DMP_SANITIZE",
-          "DMP_CHECK_BUILD_DIR", "DMP_SCHED", "DMP_TYPO", "DMP_RUN"}) {
+          "DMP_CHECK_BUILD_DIR", "DMP_SCHED", "DMP_QDISC", "DMP_TYPO",
+          "DMP_RUN"}) {
       unsetenv(name);
     }
   }
@@ -98,6 +99,44 @@ TEST_F(OptionsTest, RejectsUnknownSchedulerWithAcceptedSet) {
                  "(accepted: pull, weighted[:w0,w1,...], best_path, "
                  "round_robin, redundant, parity-<k> for k in [2,32])");
   }
+}
+
+TEST_F(OptionsTest, ParsesAndValidatesQdiscSpec) {
+  EXPECT_EQ(BenchOptions::from_env().qdisc, "droptail");
+  setenv("DMP_QDISC", "pie:20,30", 1);
+  EXPECT_EQ(BenchOptions::from_env().qdisc, "pie:20,30");
+  setenv("DMP_QDISC", "fq_pie:16", 1);
+  const auto options = BenchOptions::from_env();
+  EXPECT_EQ(options.qdisc, "fq_pie:16");
+  EXPECT_NE(options.summary().find("qdisc=fq_pie:16"), std::string::npos);
+}
+
+TEST_F(OptionsTest, DefaultQdiscStaysOutOfTheSummary) {
+  // The summary line is part of golden bench logs: the default must not
+  // add a qdisc field (byte-identity with pre-qdisc runs).
+  EXPECT_EQ(BenchOptions::from_env().summary().find("qdisc"),
+            std::string::npos);
+  setenv("DMP_QDISC", "droptail", 1);
+  EXPECT_EQ(BenchOptions::from_env().summary().find("qdisc"),
+            std::string::npos);
+}
+
+TEST_F(OptionsTest, RejectsBadQdiscNamingVariableAndGrammar) {
+  setenv("DMP_QDISC", "wred", 1);
+  try {
+    BenchOptions::from_env();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // Pinned prefix: the bench-options layer names the variable, then the
+    // qdisc parser names the value and the accepted grammar.
+    EXPECT_STREQ(e.what(),
+                 "bench options: DMP_QDISC: unknown qdisc 'wred' "
+                 "(accepted: droptail, pie[:target_ms[,tupdate_ms]], "
+                 "fq_pie[:flows], codel[:target_ms[,interval_ms]])");
+  }
+  clear();
+  setenv("DMP_QDISC", "pie:0", 1);
+  EXPECT_THROW(BenchOptions::from_env(), std::invalid_argument);
 }
 
 TEST_F(OptionsTest, RejectsUnknownDmpVariable) {

@@ -124,5 +124,33 @@ TEST(GoldenFigures, SimSessionSummary) {
   EXPECT_EQ(summary, "gen=1500 delivered=1500 f4=0 p1=0.02732919254658385 p2=0.038770053475935831 share1=0.52200000000000002");
 }
 
+TEST(GoldenFigures, SimSessionSummaryWithExplicitDroptail) {
+  // The qdisc layer's byte-identity contract: spelling out the default
+  // discipline reproduces the exact golden above, digit for digit.
+  SessionConfig config;
+  config.path_configs = {table1_config(2), table1_config(2)};
+  config.num_flows = 2;
+  config.mu_pps = 50.0;
+  config.duration_s = 30.0;
+  config.warmup_s = 5.0;
+  config.drain_s = 15.0;
+  config.seed = exp::replication_seed(1, 0, 0);
+  config.qdisc = "droptail";
+
+  const auto result = run_session(config);
+  ASSERT_EQ(result.paths.size(), 2u);
+  const std::string summary =
+      "gen=" + std::to_string(result.packets_generated) +
+      " delivered=" + std::to_string(result.trace.entries().size()) +
+      " f4=" + num(result.trace.late_fraction_playback_order(
+                   4.0, result.packets_generated)) +
+      " p1=" + num(result.paths[0].loss_rate) +
+      " p2=" + num(result.paths[1].loss_rate) +
+      " share1=" + num(result.paths[0].share);
+  EXPECT_EQ(summary, "gen=1500 delivered=1500 f4=0 p1=0.02732919254658385 p2=0.038770053475935831 share1=0.52200000000000002");
+  EXPECT_EQ(result.paths[0].aqm_early_drops, 0u);
+  EXPECT_EQ(result.paths[1].aqm_early_drops, 0u);
+}
+
 }  // namespace
 }  // namespace dmp

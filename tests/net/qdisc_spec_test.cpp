@@ -1,0 +1,178 @@
+// Grammar tests for the DMP_QDISC spec parser: accepted forms, pinned
+// error messages for the rejection classes (unknown kind, empty / garbage
+// / out-of-range / surplus parameters), and a truncation-and-mutation fuzz
+// sweep — every input must either parse or throw std::invalid_argument
+// naming the spec; nothing may crash or silently mis-parse.
+#include "net/qdisc/queue_discipline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dmp {
+namespace {
+
+std::string error_of(const std::string& spec) {
+  try {
+    QdiscSpec::parse(spec);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(QdiscSpec, ParsesEveryAcceptedForm) {
+  const auto droptail = QdiscSpec::parse("droptail");
+  EXPECT_TRUE(droptail.droptail());
+  EXPECT_STREQ(droptail.kind_name(), "droptail");
+  EXPECT_EQ(droptail.text, "droptail");
+
+  const auto pie = QdiscSpec::parse("pie");
+  EXPECT_EQ(pie.kind, QdiscSpec::Kind::kPie);
+  EXPECT_DOUBLE_EQ(pie.target_s, 0.0);  // 0 = kind default at build time
+
+  const auto pie_target = QdiscSpec::parse("pie:20");
+  EXPECT_DOUBLE_EQ(pie_target.target_s, 0.020);
+  EXPECT_DOUBLE_EQ(pie_target.interval_s, 0.0);
+
+  const auto pie_both = QdiscSpec::parse("pie:20,30");
+  EXPECT_DOUBLE_EQ(pie_both.target_s, 0.020);
+  EXPECT_DOUBLE_EQ(pie_both.interval_s, 0.030);
+
+  const auto fq = QdiscSpec::parse("fq_pie:8");
+  EXPECT_EQ(fq.kind, QdiscSpec::Kind::kFqPie);
+  EXPECT_EQ(fq.flows, 8);
+
+  const auto codel = QdiscSpec::parse("codel:5,100");
+  EXPECT_EQ(codel.kind, QdiscSpec::Kind::kCoDel);
+  EXPECT_DOUBLE_EQ(codel.target_s, 0.005);
+  EXPECT_DOUBLE_EQ(codel.interval_s, 0.100);
+  EXPECT_FALSE(codel.droptail());
+}
+
+TEST(QdiscSpec, FractionalMillisecondsAreAccepted) {
+  const auto spec = QdiscSpec::parse("codel:0.5,12.5");
+  EXPECT_DOUBLE_EQ(spec.target_s, 0.0005);
+  EXPECT_DOUBLE_EQ(spec.interval_s, 0.0125);
+}
+
+TEST(QdiscSpec, UnknownKindNamesTheSpecAndGrammar) {
+  const std::string error = error_of("red");
+  EXPECT_NE(error.find("unknown qdisc 'red'"), std::string::npos) << error;
+  EXPECT_NE(error.find(qdisc_spec_grammar()), std::string::npos) << error;
+}
+
+TEST(QdiscSpec, CaseAndWhitespaceAreNotForgiven) {
+  // The grammar is exact-match: benches must not half-accept a typo.
+  for (const char* spec : {"PIE", "pie ", " pie", "drop-tail", "droptail:",
+                           "fqpie", "pie::", "codel,5"}) {
+    EXPECT_THROW(QdiscSpec::parse(spec), std::invalid_argument) << spec;
+  }
+}
+
+TEST(QdiscSpec, EmptyParameterListRejected) {
+  for (const char* spec : {"pie:", "codel:", "fq_pie:"}) {
+    const std::string error = error_of(spec);
+    EXPECT_NE(error.find("empty parameter list"), std::string::npos)
+        << spec << " -> " << error;
+  }
+}
+
+TEST(QdiscSpec, GarbageParametersRejected) {
+  EXPECT_NE(error_of("pie:abc").find("bad target 'abc'"), std::string::npos);
+  EXPECT_NE(error_of("pie:20,xyz").find("bad tupdate 'xyz'"),
+            std::string::npos);
+  EXPECT_NE(error_of("codel:nan").find("bad target 'nan'"),
+            std::string::npos);
+  EXPECT_NE(error_of("pie:5x").find("bad target '5x'"), std::string::npos);
+  EXPECT_NE(error_of("fq_pie:abc").find("bad flow count 'abc'"),
+            std::string::npos);
+  // strtol stops at the '.': trailing garbage, not a rounded flow count.
+  EXPECT_NE(error_of("fq_pie:2.5").find("bad flow count '2.5'"),
+            std::string::npos);
+}
+
+TEST(QdiscSpec, OutOfRangeParametersRejected) {
+  EXPECT_NE(error_of("pie:0").find("out of range"), std::string::npos);
+  EXPECT_NE(error_of("pie:-5").find("out of range"), std::string::npos);
+  EXPECT_NE(error_of("pie:10001").find("out of range"), std::string::npos);
+  EXPECT_NE(error_of("codel:5,60001").find("out of range"),
+            std::string::npos);
+  EXPECT_NE(error_of("fq_pie:0").find("out of range [1, 4096]"),
+            std::string::npos);
+  EXPECT_NE(error_of("fq_pie:4097").find("out of range [1, 4096]"),
+            std::string::npos);
+}
+
+TEST(QdiscSpec, SurplusParametersRejected) {
+  for (const char* spec : {"pie:1,2,3", "codel:5,100,7"}) {
+    const std::string error = error_of(spec);
+    EXPECT_NE(error.find("too many parameters"), std::string::npos)
+        << spec << " -> " << error;
+  }
+}
+
+TEST(QdiscSpec, EveryTruncationParsesOrThrowsCleanly) {
+  // Every prefix of every accepted spelling: never a crash, never an
+  // unnamed error.
+  for (const std::string full : {"droptail", "pie:20,30", "fq_pie:64",
+                                 "codel:5,100"}) {
+    for (std::size_t len = 0; len <= full.size(); ++len) {
+      const std::string prefix = full.substr(0, len);
+      try {
+        const auto spec = QdiscSpec::parse(prefix);
+        EXPECT_EQ(spec.text, prefix);
+      } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("qdisc"), std::string::npos)
+            << "'" << prefix << "' -> " << e.what();
+      }
+    }
+  }
+}
+
+TEST(QdiscSpec, MutationFuzzNeverCrashesOrMisparses) {
+  // Seeded mutation sweep over the accepted spellings: flip/insert/delete
+  // one byte at a time.  Every outcome must be a clean parse of one of
+  // the four kinds or an invalid_argument — anything else (other throw
+  // types, crashes) fails the test by escaping the catch.
+  const std::vector<std::string> corpus{"droptail", "pie", "pie:15,15",
+                                        "fq_pie:64", "codel:5,100"};
+  Rng rng(2007);
+  const std::string alphabet = "abcdefpqz0189.,:-+e _";
+  int parsed = 0, rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    std::string s = corpus[static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(corpus.size()))];
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform() * static_cast<double>(s.size()));
+    const char c = alphabet[static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(alphabet.size()))];
+    const double op = rng.uniform();
+    if (op < 0.4) {
+      s[pos] = c;
+    } else if (op < 0.7) {
+      s.insert(pos, 1, c);
+    } else if (!s.empty()) {
+      s.erase(pos, 1);
+    }
+    try {
+      const auto spec = QdiscSpec::parse(s);
+      const std::string kind = spec.kind_name();
+      EXPECT_TRUE(kind == "droptail" || kind == "pie" || kind == "fq_pie" ||
+                  kind == "codel");
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  // The sweep must exercise both outcomes to mean anything.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace dmp
