@@ -55,8 +55,13 @@ int main() {
     RequiredDelayResult homo{}, hetero{};
   };
   const auto mc_seeds = exp::mc_stream(options.seed);
+  // With DMP_MODEL_SHARDS the parallelism moves inside each probe (the
+  // sharded estimator runs its shards on DMP_THREADS workers), so the
+  // outer sweep goes serial instead of oversubscribing.
+  const std::size_t outer_threads =
+      options.model_shards > 0 ? 1 : options.threads;
   const auto rows =
-      exp::ExperimentRunner(options.threads).map(grid.size(), [&](std::size_t i) {
+      exp::ExperimentRunner(outer_threads).map(grid.size(), [&](std::size_t i) {
         const auto& point = grid[i];
         const auto homo_flow =
             bench::chain_of(point.base->p_o, point.base->rtt_o_s, to);
@@ -69,6 +74,8 @@ int main() {
         delay_options.min_consumptions = options.mc_min;
         delay_options.max_consumptions = options.mc_max;
         delay_options.tau_max_s = 90.0;
+        delay_options.shards = options.model_shards;
+        delay_options.threads = options.threads;
 
         Row row;
         ComposedParams homo;

@@ -16,6 +16,14 @@ must process events within that fraction of BM_PacketLevelSessionQdisc/0
 (the droptail-through-the-interface baseline) from the same run — a ratio
 of two rates from one binary on one runner, so machine-speed independent.
 
+It also guards the calendar-queue DES core on the packet-level session
+bench: an absolute floor on BM_PacketLevelSession events/s (conservative
+for slow shared runners; the floor corresponds to ~70% of the rate
+measured on a 2.1 GHz single-core reference box) and a relative floor
+against BM_PacketLevelSessionHeap from the same run — the calendar
+backend must never fall behind the binary-heap backend it replaced
+(runner-speed independent, a ratio of two rates from one binary).
+
 With --obs-report it additionally guards the streaming-telemetry overhead:
 BM_SessionTelemetryOn must process events within --max-obs-overhead
 (default 3%) of BM_SessionTelemetryOff from the same run.  The comparison
@@ -53,6 +61,27 @@ def best_items_per_second(report, name):
     if not rates:
         raise SystemExit(f"{name}: not found in report")
     return max(rates)
+
+
+def check_session_engine(report, min_events_per_s, min_vs_heap):
+    """Calendar-backend session floor: absolute + relative to the heap arm."""
+    failures = []
+    calendar = best_items_per_second(report, "BM_PacketLevelSession")
+    heap = best_items_per_second(report, "BM_PacketLevelSessionHeap")
+    ratio = calendar / heap if heap > 0 else float("inf")
+    print(f"BM_PacketLevelSession (calendar): {calendar / 1e6:8.2f} M events/s")
+    print(f"BM_PacketLevelSessionHeap:        {heap / 1e6:8.2f} M events/s")
+    print(f"calendar/heap: {ratio:.3f}x  (floors: "
+          f"{min_events_per_s / 1e6:.1f}M abs, {min_vs_heap}x rel)")
+    if calendar < min_events_per_s:
+        failures.append(
+            f"session floor violated: {calendar / 1e6:.2f}M < "
+            f"{min_events_per_s / 1e6:.1f}M events/s")
+    if ratio < min_vs_heap:
+        failures.append(
+            f"calendar backend fell behind the heap backend: "
+            f"{ratio:.3f}x < {min_vs_heap}x")
+    return failures
 
 
 QDISC_ARMS = {1: "pie", 2: "fq_pie", 3: "codel"}
@@ -106,6 +135,12 @@ def main():
     parser.add_argument("--max-qdisc-overhead", type=float, default=None,
                         help="guard BM_PacketLevelSessionQdisc arms against "
                              "the droptail arm (fraction, e.g. 0.10)")
+    parser.add_argument("--min-session-events-per-s", type=float, default=6.5e6,
+                        help="absolute floor on BM_PacketLevelSession "
+                             "(calendar backend) events/s")
+    parser.add_argument("--min-session-vs-heap", type=float, default=0.95,
+                        help="BM_PacketLevelSession must reach this fraction "
+                             "of BM_PacketLevelSessionHeap")
     args = parser.parse_args()
 
     with open(args.report) as fh:
@@ -120,7 +155,8 @@ def main():
     print(f"speedup: {speedup:.2f}x  (floors: "
           f"{args.min_items_per_s / 1e6:.0f}M abs, {args.min_speedup}x rel)")
 
-    failures = []
+    failures = check_session_engine(report, args.min_session_events_per_s,
+                                    args.min_session_vs_heap)
     if alias < args.min_items_per_s:
         failures.append(
             f"absolute floor violated: {alias / 1e6:.1f}M < "

@@ -3,6 +3,7 @@
 #include "exp/compare/slo.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/qdisc/queue_discipline.hpp"
+#include "sim/scheduler.hpp"
 #include "stream/scheduler/path_scheduler.hpp"
 
 #include <cerrno>
@@ -30,7 +31,7 @@ const char* const kKnownVars[] = {
     "DMP_TABLE1_PROBE_S", "DMP_FAULTS",          "DMP_SANITIZE",
     "DMP_CHECK_BUILD_DIR", "DMP_TELEMETRY",      "DMP_TELEMETRY_WINDOW_S",
     "DMP_PROFILE",        "DMP_SLO",             "DMP_SCHED",
-    "DMP_QDISC",
+    "DMP_QDISC",          "DMP_DES",
 };
 
 [[noreturn]] void fail(const std::string& message) {
@@ -158,6 +159,14 @@ BenchOptions BenchOptions::from_env() {
     }
     o.qdisc = v;
   }
+  if (const char* v = get("DMP_DES")) {
+    try {
+      parse_scheduler_backend(v);  // validation only; benches re-parse
+    } catch (const std::exception& e) {
+      fail("DMP_DES: " + std::string(e.what()));
+    }
+    o.des = v;
+  }
   if (const char* v = get("DMP_FAULTS")) {
     try {
       fault::FaultPlan::parse(v);  // validation only; benches re-parse
@@ -201,6 +210,7 @@ std::string BenchOptions::summary() const {
   std::string out = buf;
   if (sched != "pull") out += " sched=" + sched;
   if (qdisc != "droptail") out += " qdisc=" + qdisc;
+  if (des != "calendar") out += " des=" + des;
   if (!faults.empty()) out += " faults='" + faults + "'";
   if (!slo.empty()) out += " slo=" + slo;
   return out;

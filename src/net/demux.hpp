@@ -1,8 +1,15 @@
 // Per-flow demultiplexer: routes packets leaving a shared pipeline stage to
 // the endpoint (TCP sender or sink) registered for their flow id.
+//
+// Storage is a flat vector scanned linearly: a pipeline stage serves a
+// handful of flows (two video flows plus a few background ids), where a
+// scan over 8-byte keys beats unordered_map's hash + bucket chase on every
+// delivered packet.  Registration replaces an existing entry, preserving
+// the old map semantics.
 #pragma once
 
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 
@@ -11,12 +18,22 @@ namespace dmp {
 class FlowDemux {
  public:
   void register_flow(FlowId flow, PacketHandler handler) {
-    handlers_[flow] = std::move(handler);
+    for (auto& entry : handlers_) {
+      if (entry.first == flow) {
+        entry.second = std::move(handler);
+        return;
+      }
+    }
+    handlers_.emplace_back(flow, std::move(handler));
   }
 
   void deliver(const Packet& p) const {
-    const auto it = handlers_.find(p.flow);
-    if (it != handlers_.end()) it->second(p);
+    for (const auto& entry : handlers_) {
+      if (entry.first == p.flow) {
+        entry.second(p);
+        return;
+      }
+    }
     // Packets for unregistered flows are silently discarded (e.g. traffic
     // arriving after an endpoint was torn down).
   }
@@ -26,7 +43,7 @@ class FlowDemux {
   }
 
  private:
-  std::unordered_map<FlowId, PacketHandler> handlers_;
+  std::vector<std::pair<FlowId, PacketHandler>> handlers_;
 };
 
 }  // namespace dmp

@@ -10,6 +10,7 @@ Link::Link(Scheduler& sched, LinkConfig config)
       base_config_(config),
       qdisc_(make_queue_discipline(config.qdisc, config.buffer_packets)),
       aqm_(!config.qdisc.droptail()) {
+  if (!aqm_) droptail_ = static_cast<DropTailQdisc*>(qdisc_.get());
   if (config_.bandwidth_bps <= 0) {
     throw std::invalid_argument{"link bandwidth must be positive"};
   }
@@ -18,6 +19,27 @@ Link::Link(Scheduler& sched, LinkConfig config)
                                   QdiscDropReason reason) {
     on_qdisc_drop(victim, reason);
   });
+  // Devirtualized dispatch for the two event kinds this link fires; both
+  // skip the scheduler's callable slab entirely.
+  tx_done_port_id_ =
+      sched_.register_port(&Link::tx_done_port, this, EventCategory::kLinkTx);
+  delivery_port_id_ = sched_.register_port(&Link::delivery_port, this,
+                                           EventCategory::kLinkDelivery);
+}
+
+LinkFlowCounters& Link::flow_slot(FlowId flow) {
+  if (flow_hint_ < per_flow_.size() && per_flow_[flow_hint_].first == flow) {
+    return per_flow_[flow_hint_].second;
+  }
+  for (std::size_t i = 0; i < per_flow_.size(); ++i) {
+    if (per_flow_[i].first == flow) {
+      flow_hint_ = i;
+      return per_flow_[i].second;
+    }
+  }
+  flow_hint_ = per_flow_.size();
+  per_flow_.emplace_back(flow, LinkFlowCounters{});
+  return per_flow_.back().second;
 }
 
 void Link::record_flight(const Packet& p, obs::FlightEventKind kind,
@@ -42,7 +64,7 @@ void Link::record_flight(const Packet& p, obs::FlightEventKind kind,
 // stay byte-identical to the pre-qdisc implementation.
 void Link::on_qdisc_drop(const Packet& victim, QdiscDropReason reason) {
   ++total_drops_;
-  ++per_flow_[victim.flow].drops;
+  ++flow_slot(victim.flow).drops;
   if (m_drops_) m_drops_->inc();
   if (m_early_drops_ && reason == QdiscDropReason::kEarly) {
     m_early_drops_->inc();
@@ -77,7 +99,7 @@ void Link::on_qdisc_drop(const Packet& victim, QdiscDropReason reason) {
 void Link::send(const Packet& p) {
   ++total_arrivals_;
   if (m_arrivals_) m_arrivals_->inc();
-  ++per_flow_[p.flow].arrivals;
+  ++flow_slot(p.flow).arrivals;
 
   // Injected faults discard on arrival.  These are not congestion drops:
   // they bypass the qdisc (and its counters) entirely so the measured p_k
@@ -103,7 +125,7 @@ void Link::send(const Packet& p) {
   // Idle bypass: an empty queue and a free transmitter put the packet
   // straight on the wire — no discipline consulted, exactly like the
   // pre-qdisc link (AQM only shapes a standing queue).
-  if (!transmitting_ && qdisc_->len() == 0) {
+  if (!transmitting_ && qlen() == 0) {
     if (flight_ && p.app_tag >= 0) {
       record_flight(p, obs::FlightEventKind::kLinkEnqueue, 0);
     }
@@ -111,51 +133,93 @@ void Link::send(const Packet& p) {
     return;
   }
 
-  const std::size_t depth = qdisc_->len();
-  if (!qdisc_->enqueue(p, sched_.now())) return;  // dropped + reported
+  const std::size_t depth = qlen();
+  if (!q_enqueue(p, sched_.now())) return;  // dropped + reported
   if (flight_ && p.app_tag >= 0) {
     // Pre-push depth, matching the legacy record-before-enqueue order.
     record_flight(p, obs::FlightEventKind::kLinkEnqueue, depth);
   }
   if (ts_queue_) {
-    ts_queue_->add(sched_.now(), static_cast<double>(qdisc_->len()));
+    ts_queue_->add(sched_.now(), static_cast<double>(qlen()));
   }
 }
 
 void Link::start_transmission(const Packet& p) {
   if (flight_ && p.app_tag >= 0) {
-    record_flight(p, obs::FlightEventKind::kLinkDequeue, qdisc_->len());
+    record_flight(p, obs::FlightEventKind::kLinkDequeue, qlen());
   }
   transmitting_ = true;
   in_flight_ = p;
-  const SimTime tx = transmission_time(p.size_bytes, config_.bandwidth_bps);
+  const SimTime tx = tx_time(p.size_bytes);
   busy_time_ += tx;
-  sched_.post_after(tx, [this] { on_transmit_done(); },
-                    EventCategory::kLinkTx);
+  // At most one transmission is ever outstanding, so tx-done needs no FIFO:
+  // a direct port post (no EventFn, no slab traffic).
+  sched_.post_port_after(tx, tx_done_port_id_);
 }
 
 void Link::on_transmit_done() {
   // Propagation is pipelined: delivery is scheduled and the transmitter is
   // immediately free for the next queued packet.
-  const Packet delivered = in_flight_;
   ++total_delivered_;
   if (m_delivered_) m_delivered_->inc();
   if (ts_delivered_) ts_delivered_->bump(sched_.now());
-  sched_.post_after(config_.prop_delay, [this, delivered] {
-    if (receiver_) receiver_(delivered);
-  }, EventCategory::kLinkDelivery);
+  const SimTime when = sched_.now() + config_.prop_delay;
+  if (deliveries_head_ < deliveries_.size() &&
+      when < deliveries_.back().when) {
+    // rescale() shrank the propagation delay under packets already on the
+    // wire: this delivery undercuts the FIFO tail, so it takes the legacy
+    // one-entry path (the seq is claimed at the same point either way, so
+    // pop order is exactly what a FIFO-free scheduler would produce).
+    const Packet delivered = in_flight_;
+    sched_.post_at(when, [this, delivered] { deliver(delivered); },
+                   EventCategory::kLinkDelivery);
+  } else {
+    // Batched path: claim the (when, seq) key now, park the pooled packet
+    // in the link's FIFO, and keep exactly one armed head in the queue.
+    const Scheduler::Deferred d = sched_.defer_at(when);
+    const bool was_empty = deliveries_head_ == deliveries_.size();
+    deliveries_.push_back(PendingDelivery{d.when, d.seq,
+                                          pool_.acquire(in_flight_)});
+    if (was_empty) sched_.arm_deferred(d, delivery_port_id_);
+  }
   transmitting_ = false;
   // A downed link freezes its queue: the packet already on the wire
   // completes, but nothing further dequeues until set_down(false).  CoDel
   // may discard queued heads here and come back empty-handed.
   if (!down_) {
     Packet next;
-    if (qdisc_->dequeue(&next, sched_.now())) {
+    if (q_dequeue(&next, sched_.now())) {
       start_transmission(next);
       if (ts_queue_) {
-        ts_queue_->add(sched_.now(), static_cast<double>(qdisc_->len()));
+        ts_queue_->add(sched_.now(), static_cast<double>(qlen()));
       }
     }
+  }
+}
+
+void Link::on_delivery() {
+  // Pop the FIFO head, re-arm the successor (its key was claimed when it
+  // was scheduled, so arming order cannot disturb pop order), then hand the
+  // packet downstream.
+  const PendingDelivery head = deliveries_[deliveries_head_++];
+  if (deliveries_head_ < deliveries_.size()) {
+    const PendingDelivery& next = deliveries_[deliveries_head_];
+    sched_.arm_deferred(Scheduler::Deferred{next.when, next.seq},
+                        delivery_port_id_);
+  } else {
+    deliveries_.clear();
+    deliveries_head_ = 0;
+  }
+  deliver(pool_.take(head.ref));
+}
+
+void Link::deliver(const Packet& p) {
+  if (next_link_ != nullptr) {
+    next_link_->send(p);
+  } else if (next_demux_ != nullptr) {
+    next_demux_->deliver(p);
+  } else if (receiver_) {
+    receiver_(p);
   }
 }
 
@@ -163,7 +227,7 @@ void Link::set_down(bool down) {
   down_ = down;
   if (!down_ && !transmitting_) {
     Packet next;
-    if (qdisc_->dequeue(&next, sched_.now())) start_transmission(next);
+    if (q_dequeue(&next, sched_.now())) start_transmission(next);
   }
 }
 
@@ -174,13 +238,16 @@ void Link::rescale(double bw_factor, double delay_factor) {
   config_.bandwidth_bps = base_config_.bandwidth_bps * bw_factor;
   config_.prop_delay = SimTime::nanos(static_cast<std::int64_t>(
       static_cast<double>(base_config_.prop_delay.ns()) * delay_factor));
+  tx_cache_bytes_ = -1;  // bandwidth changed: drop the cached tx time
   // PIE's queue-delay estimate tracks the rescaled drain rate.
   qdisc_->set_drain_rate(config_.bandwidth_bps);
 }
 
 LinkFlowCounters Link::flow_counters(FlowId flow) const {
-  const auto it = per_flow_.find(flow);
-  return it == per_flow_.end() ? LinkFlowCounters{} : it->second;
+  for (const auto& entry : per_flow_) {
+    if (entry.first == flow) return entry.second;
+  }
+  return LinkFlowCounters{};
 }
 
 void Link::attach_metrics(obs::MetricsRegistry& registry,

@@ -9,9 +9,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "net/demux.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+#include "net/qdisc/droptail.hpp"
 #include "net/qdisc/queue_discipline.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
@@ -46,14 +50,30 @@ class Link {
  public:
   Link(Scheduler& sched, LinkConfig config);
 
-  // Downstream receiver; must be set before the first send.
-  void set_receiver(PacketHandler receiver) { receiver_ = std::move(receiver); }
+  // Downstream receiver; must be set before the first send.  The Link and
+  // FlowDemux overloads devirtualize the hop — delivery calls the next
+  // stage directly instead of going through a std::function.
+  void set_receiver(PacketHandler receiver) {
+    next_link_ = nullptr;
+    next_demux_ = nullptr;
+    receiver_ = std::move(receiver);
+  }
+  void set_receiver(Link* next) {
+    next_link_ = next;
+    next_demux_ = nullptr;
+    receiver_ = nullptr;
+  }
+  void set_receiver(FlowDemux* demux) {
+    next_link_ = nullptr;
+    next_demux_ = demux;
+    receiver_ = nullptr;
+  }
 
   // Offer to the queue discipline; may drop (tail or AQM-early) on arrival,
   // and AQM disciplines may additionally discard queued packets later.
   void send(const Packet& p);
 
-  std::size_t queue_length() const { return qdisc_->len(); }
+  std::size_t queue_length() const { return qlen(); }
   const LinkConfig& config() const { return config_; }
 
   // Aggregate and per-flow counters.
@@ -118,16 +138,63 @@ class Link {
   }
 
  private:
+  // One in-flight delivery: a (when, seq) key claimed from the scheduler at
+  // schedule time plus the pooled packet.  Only the FIFO head is armed in
+  // the event queue; the rest wait here (docs/DES_ENGINE.md).
+  struct PendingDelivery {
+    SimTime when;
+    std::uint64_t seq;
+    PacketPool::Ref ref;
+  };
+
+  static void tx_done_port(void* ctx) {
+    static_cast<Link*>(ctx)->on_transmit_done();
+  }
+  static void delivery_port(void* ctx) {
+    static_cast<Link*>(ctx)->on_delivery();
+  }
+
   void start_transmission(const Packet& p);
   void on_transmit_done();
-  void dequeue_next();
+  void on_delivery();
+  void deliver(const Packet& p);
   void on_qdisc_drop(const Packet& victim, QdiscDropReason reason);
+  LinkFlowCounters& flow_slot(FlowId flow);
+
+  // Devirtualized queue ops for the default discipline: DropTailQdisc is
+  // final, so these inline to deque operations; AQM links take the
+  // virtual call.  Identical semantics either way.
+  std::size_t qlen() const {
+    return droptail_ ? droptail_->len() : qdisc_->len();
+  }
+  // Packet sizes on a link are near-constant (MSS data one way, fixed-size
+  // ACKs the other), so a one-entry cache removes the per-packet double
+  // divide; transmission_time is pure, so the cached value is identical.
+  SimTime tx_time(std::int64_t bytes) {
+    if (bytes != tx_cache_bytes_) {
+      tx_cache_bytes_ = bytes;
+      tx_cache_ = transmission_time(bytes, config_.bandwidth_bps);
+    }
+    return tx_cache_;
+  }
+  bool q_enqueue(const Packet& p, SimTime now) {
+    return droptail_ ? droptail_->enqueue(p, now) : qdisc_->enqueue(p, now);
+  }
+  bool q_dequeue(Packet* out, SimTime now) {
+    return droptail_ ? droptail_->dequeue(out, now)
+                     : qdisc_->dequeue(out, now);
+  }
 
   Scheduler& sched_;
   LinkConfig config_;
   const LinkConfig base_config_;  // rescale() factors are relative to this
+  Link* next_link_ = nullptr;      // devirtualized receiver (one of three)
+  FlowDemux* next_demux_ = nullptr;
   PacketHandler receiver_;
   std::unique_ptr<QueueDiscipline> qdisc_;
+  DropTailQdisc* droptail_ = nullptr;  // set iff qdisc_ is the default
+  std::int64_t tx_cache_bytes_ = -1;   // tx_time() cache key; reset on rescale
+  SimTime tx_cache_ = SimTime::zero();
   // True for non-droptail disciplines: gates the AQM-only observability
   // (drop-cause trace field, early-drop counter, event-log reason) so the
   // default configuration's artifacts stay byte-identical to pre-qdisc.
@@ -143,7 +210,19 @@ class Link {
   std::uint64_t total_drops_ = 0;
   std::uint64_t total_delivered_ = 0;
   SimTime busy_time_ = SimTime::zero();
-  std::unordered_map<FlowId, LinkFlowCounters> per_flow_;
+  // Flat per-flow counters: a link carries a handful of flows, and send()
+  // touches this on every arrival — a hinted linear scan beats hashing.
+  std::vector<std::pair<FlowId, LinkFlowCounters>> per_flow_;
+  std::size_t flow_hint_ = 0;  // index of the last flow touched
+
+  // In-flight deliveries (FIFO by construction: propagation delay is
+  // constant between rescales, so (when, seq) is nondecreasing).  Head is
+  // armed in the scheduler; `deliveries_head_` is the ring's pop cursor.
+  std::vector<PendingDelivery> deliveries_;
+  std::size_t deliveries_head_ = 0;
+  PacketPool pool_;
+  std::uint32_t tx_done_port_id_ = 0;
+  std::uint32_t delivery_port_id_ = 0;
 
   void record_flight(const Packet& p, obs::FlightEventKind kind,
                      std::size_t queue_depth,

@@ -11,8 +11,10 @@ DumbbellPath::DumbbellPath(Scheduler& sched, BottleneckConfig bottleneck,
                          bottleneck.buffer_packets, bottleneck.qdisc});
   exit_ = std::make_unique<Link>(
       sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
-  bottleneck_->set_receiver([this](const Packet& p) { exit_->send(p); });
-  exit_->set_receiver(fwd_demux_.as_handler());
+  // Devirtualized hops: each stage hands packets to the next Link / demux
+  // directly instead of through a std::function trampoline.
+  bottleneck_->set_receiver(exit_.get());
+  exit_->set_receiver(&fwd_demux_);
 
   // Reverse: ACK path shares the bottleneck's propagation delay but is
   // provisioned at access speed, so it never congests (ACK losses are
@@ -21,14 +23,14 @@ DumbbellPath::DumbbellPath(Scheduler& sched, BottleneckConfig bottleneck,
       sched_, LinkConfig{access_.bandwidth_bps, bottleneck.prop_delay, 0});
   rev_exit_ = std::make_unique<Link>(
       sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
-  rev_bottleneck_->set_receiver([this](const Packet& p) { rev_exit_->send(p); });
-  rev_exit_->set_receiver(rev_demux_.as_handler());
+  rev_bottleneck_->set_receiver(rev_exit_.get());
+  rev_exit_->set_receiver(&rev_demux_);
 }
 
 PacketHandler DumbbellPath::attach_source(FlowId) {
   auto entry = std::make_unique<Link>(
       sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
-  entry->set_receiver([this](const Packet& p) { bottleneck_->send(p); });
+  entry->set_receiver(bottleneck_.get());
   if (flight_) entry->set_flight_recorder(flight_, 0);
   Link* raw = entry.get();
   entry_links_.push_back(std::move(entry));
@@ -49,8 +51,7 @@ void DumbbellPath::register_sink(FlowId flow, PacketHandler handler) {
 PacketHandler DumbbellPath::attach_reverse_source(FlowId) {
   auto entry = std::make_unique<Link>(
       sched_, LinkConfig{access_.bandwidth_bps, access_.prop_delay, 0});
-  entry->set_receiver(
-      [this](const Packet& p) { rev_bottleneck_->send(p); });
+  entry->set_receiver(rev_bottleneck_.get());
   Link* raw = entry.get();
   rev_entry_links_.push_back(std::move(entry));
   return [raw](const Packet& p) { raw->send(p); };

@@ -7,6 +7,17 @@
 
 namespace dmp {
 
+SchedulerBackend parse_scheduler_backend(const std::string& spec) {
+  if (spec == "calendar") return SchedulerBackend::kCalendar;
+  if (spec == "heap") return SchedulerBackend::kHeap;
+  throw std::invalid_argument{"scheduler backend '" + spec +
+                              "' (expected: calendar | heap)"};
+}
+
+const char* scheduler_backend_name(SchedulerBackend backend) {
+  return backend == SchedulerBackend::kCalendar ? "calendar" : "heap";
+}
+
 void Scheduler::push(SimTime when, EventFn fn, std::uint32_t slot,
                      EventCategory cat) {
   if (when < now_) throw std::invalid_argument{"schedule_at: time in the past"};
@@ -21,8 +32,8 @@ void Scheduler::push(SimTime when, EventFn fn, std::uint32_t slot,
     fn_cats_.push_back(0);
   }
   fn_cats_[fn_index] = static_cast<std::uint8_t>(cat);
-  queue_.push(Entry{when, next_seq_++, fn_index, slot});
-  max_pending_ = std::max(max_pending_, queue_.size());
+  push_entry(Entry{when, next_seq_++, fn_index, slot});
+  max_pending_ = std::max(max_pending_, pending_events());
 }
 
 EventHandle Scheduler::schedule_at(SimTime when, EventFn fn,
@@ -46,46 +57,98 @@ void Scheduler::post_after(SimTime delay, EventFn fn, EventCategory cat) {
   post_at(now_ + delay, std::move(fn), cat);
 }
 
+std::uint32_t Scheduler::register_port(PortFn fn, void* ctx,
+                                       EventCategory cat) {
+  ports_.push_back(Port{fn, ctx, static_cast<std::uint8_t>(cat)});
+  return static_cast<std::uint32_t>(ports_.size() - 1);
+}
+
+void Scheduler::dispatch(const Entry& e) {
+  now_ = e.when;
+  ++executed_;
+  if (e.fn_index & kPortBit) {
+    const Port port = ports_[e.fn_index & ~kPortBit];
+    if (profile_ == nullptr) {
+      port.fn(port.ctx);
+      return;
+    }
+    auto& stats = profile_->by_category[port.cat < kNumEventCategories
+                                            ? port.cat
+                                            : 0];
+    ++stats.executed;
+    if (time_events_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      port.fn(port.ctx);
+      const auto t1 = std::chrono::steady_clock::now();
+      stats.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+    } else {
+      port.fn(port.ctx);
+    }
+    return;
+  }
+  EventFn fn = std::move(fns_[e.fn_index]);
+  const std::uint8_t cat = fn_cats_[e.fn_index];
+  free_fns_.push_back(e.fn_index);
+  if (profile_ == nullptr) {
+    fn();
+  } else {
+    auto& stats = profile_->by_category[cat < kNumEventCategories ? cat : 0];
+    ++stats.executed;
+    if (time_events_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      stats.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+    } else {
+      fn();
+    }
+  }
+}
+
 bool Scheduler::step(SimTime horizon) {
-  while (!queue_.empty()) {
-    if (queue_.top().when > horizon) return false;
-    const Entry top = queue_.top();
-    queue_.pop();
-    EventFn fn = std::move(fns_[top.fn_index]);
-    // Read the category before fn() runs: the callback may schedule new
-    // events and reallocate the slabs.
-    const std::uint8_t cat = fn_cats_[top.fn_index];
-    free_fns_.push_back(top.fn_index);
-    const SimTime when = top.when;
-    const std::uint32_t slot = top.slot;
-    if (slot != kNoSlot) {
+  while (!q_empty()) {
+    if (q_min().when > horizon) return false;
+    const Entry top = q_pop();
+    if (!(top.fn_index & kPortBit) && top.slot != kNoSlot) {
+      // Release the callable slab slot before the cancellation check so
+      // cancelled entries recycle their storage exactly like fired ones.
+      EventFn fn = std::move(fns_[top.fn_index]);
+      const std::uint8_t cat = fn_cats_[top.fn_index];
+      free_fns_.push_back(top.fn_index);
       // The slot is released exactly once — here — so its generation still
       // matches this entry's and `cancelled` is this entry's flag.
-      const bool was_cancelled = pool_->slots[slot].cancelled;
-      pool_->release(slot);  // the handle goes dead before fn() runs
+      const bool was_cancelled = pool_->slots[top.slot].cancelled;
+      pool_->release(top.slot);  // the handle goes dead before fn() runs
       if (was_cancelled) {
         ++cancelled_;
         continue;
       }
-    }
-    now_ = when;
-    ++executed_;
-    if (profile_ == nullptr) {
-      fn();
-    } else {
-      auto& stats = profile_->by_category[cat < kNumEventCategories ? cat : 0];
-      ++stats.executed;
-      if (time_events_) {
-        const auto t0 = std::chrono::steady_clock::now();
+      now_ = top.when;
+      ++executed_;
+      if (profile_ == nullptr) {
         fn();
-        const auto t1 = std::chrono::steady_clock::now();
-        stats.wall_ns += static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                .count());
       } else {
-        fn();
+        auto& stats =
+            profile_->by_category[cat < kNumEventCategories ? cat : 0];
+        ++stats.executed;
+        if (time_events_) {
+          const auto t0 = std::chrono::steady_clock::now();
+          fn();
+          const auto t1 = std::chrono::steady_clock::now();
+          stats.wall_ns += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+        } else {
+          fn();
+        }
       }
+      return true;
     }
+    dispatch(top);
     return true;
   }
   return false;

@@ -71,14 +71,16 @@ SessionResult run_session(const SessionConfig& config) {
   // deliveries through the exactly-once filter; everything else keeps the
   // direct callback path (no allocation, no behavior change).
   const SchedulerSpec scheduler_spec = SchedulerSpec::parse(config.scheduler);
-  // Same fail-fast discipline for the bottleneck queue spec.
+  // Same fail-fast discipline for the bottleneck queue spec and the DES
+  // backend.
   const QdiscSpec qdisc_spec = QdiscSpec::parse(config.qdisc);
+  const SchedulerBackend des_backend = parse_scheduler_backend(config.des);
   const bool dedup = config.scheme == StreamScheme::kDmp &&
                      scheduler_spec.redundant();
   std::unique_ptr<RedundancyFilter> redundancy;
   if (dedup) redundancy = std::make_unique<RedundancyFilter>();
 
-  Scheduler sched;
+  Scheduler sched(des_backend);
   Rng rng(config.seed);
 
   // --- observability (optional) ---

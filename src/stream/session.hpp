@@ -68,6 +68,12 @@ struct SessionConfig {
   // (seed-stream kind 18, disjoint from all session randomness).  The
   // default reproduces the paper's drop-tail bottlenecks byte-identically.
   std::string qdisc = "droptail";
+  // DES event-queue backend (the DMP_DES bench knob): calendar | heap.
+  // The calendar queue is the default and pops in an order bit-identical
+  // to the binary heap ((when, seq) tie-breaking — docs/DES_ENGINE.md);
+  // `heap` keeps the std::push_heap baseline selectable for differential
+  // runs and benchmarks.  Parsed and validated before any network is built.
+  std::string des = "calendar";
   // Fault schedule (src/fault/ spec grammar, e.g.
   // "20 link_down path1; 25 link_up path1"), times relative to the video
   // epoch.  Targets name paths ("path<k>"); link faults hit path k's

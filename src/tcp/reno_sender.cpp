@@ -13,7 +13,10 @@ RenoSender::RenoSender(Scheduler& sched, FlowId flow, TcpConfig config,
       out_(std::move(network_out)),
       cwnd_(config.initial_cwnd),
       ssthresh_(config.initial_ssthresh),
-      jitter_rng_(config.jitter_seed ^ (0xD1B54A32D192ED03ULL * (flow + 1))) {}
+      jitter_rng_(config.jitter_seed ^ (0xD1B54A32D192ED03ULL * (flow + 1))) {
+  emit_port_id_ =
+      sched_.register_port(&RenoSender::emit_port, this, EventCategory::kTcpSend);
+}
 
 std::size_t RenoSender::space() const {
   const std::size_t used = segments_.size();
@@ -92,7 +95,9 @@ void RenoSender::emit(std::int64_t seq) {
   p.seq = seq;
   p.size_bytes = config_.mss_bytes;
   p.app_tag = s.app_tag;
-  p.injected = sched_.now();
+  // Diagnostic timestamp, only consumed by trace tooling — skip the write
+  // on uninstrumented hot paths.
+  if (flight_) p.injected = sched_.now();
   transmit(p);
 
   if (!rtx_timer_.pending()) arm_rto();
@@ -104,13 +109,34 @@ void RenoSender::transmit(const Packet& p) {
     return;
   }
   // Random processing delay, kept FIFO so the jitter never reorders the
-  // sender's own segments.
+  // sender's own segments.  `when` is strictly increasing, so the pending
+  // ring stays sorted: claim the (when, seq) key now, park the packet, and
+  // keep exactly one armed head in the event queue.
   const SimTime jitter =
       SimTime::seconds(jitter_rng_.uniform(0.0, config_.send_overhead_s));
   SimTime when = sched_.now() + jitter;
   if (when <= last_emission_) when = last_emission_ + SimTime::nanos(1);
   last_emission_ = when;
-  sched_.post_at(when, [this, p] { out_(p); }, EventCategory::kTcpSend);
+  const Scheduler::Deferred d = sched_.defer_at(when);
+  const bool was_empty = emissions_head_ == emissions_.size();
+  emissions_.push_back(PendingEmission{d.when, d.seq, p});
+  if (was_empty) sched_.arm_deferred(d, emit_port_id_);
+}
+
+void RenoSender::on_emit() {
+  // Pop the ring head, re-arm the successor (its key was claimed when it
+  // was scheduled, so arming order cannot disturb pop order), then hand the
+  // packet to the network.
+  const PendingEmission head = emissions_[emissions_head_++];
+  if (emissions_head_ < emissions_.size()) {
+    const PendingEmission& next = emissions_[emissions_head_];
+    sched_.arm_deferred(Scheduler::Deferred{next.when, next.seq},
+                        emit_port_id_);
+  } else {
+    emissions_.clear();
+    emissions_head_ = 0;
+  }
+  out_(head.p);
 }
 
 SimTime RenoSender::current_rto() const {

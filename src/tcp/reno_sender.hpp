@@ -138,6 +138,20 @@ class RenoSender {
     SimTime last_sent = SimTime::zero();
   };
 
+  // One jitter-delayed emission: a (when, seq) key claimed from the
+  // scheduler at transmit() time plus the packet itself.  `when` is
+  // strictly increasing (the last_emission_ guard), so the ring is FIFO by
+  // construction and only its head is ever armed in the event queue.
+  struct PendingEmission {
+    SimTime when;
+    std::uint64_t seq;
+    Packet p;
+  };
+
+  static void emit_port(void* ctx) {
+    static_cast<RenoSender*>(ctx)->on_emit();
+  }
+
   Segment& seg(std::int64_t seq) {
     return segments_[static_cast<std::size_t>(seq - snd_una_)];
   }
@@ -148,6 +162,7 @@ class RenoSender {
   void try_send();
   void emit(std::int64_t seq);
   void transmit(const Packet& p);
+  void on_emit();
   void open_cwnd(std::int64_t newly_acked);
   void enter_fast_recovery();
   void on_rto();
@@ -183,6 +198,11 @@ class RenoSender {
 
   Rng jitter_rng_;
   SimTime last_emission_ = SimTime::zero();  // keeps jittered sends FIFO
+  // Jitter-delayed packets waiting for their armed head to fire;
+  // `emissions_head_` is the ring's pop cursor.
+  std::vector<PendingEmission> emissions_;
+  std::size_t emissions_head_ = 0;
+  std::uint32_t emit_port_id_ = 0;
 
   TcpSenderStats stats_;
 

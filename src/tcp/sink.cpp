@@ -90,7 +90,9 @@ void TcpSink::send_ack() {
   ack.kind = PacketKind::kAck;
   ack.seq = rcv_nxt_;
   ack.size_bytes = kAckPacketBytes;
-  ack.injected = sched_.now();
+  // Diagnostic timestamp, only consumed by trace tooling — skip the write
+  // on uninstrumented hot paths.
+  if (flight_) ack.injected = sched_.now();
   ack_out_(ack);
 }
 

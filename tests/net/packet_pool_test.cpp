@@ -1,0 +1,94 @@
+#include "net/packet_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmp {
+namespace {
+
+Packet make_packet(std::int64_t seq) {
+  Packet p;
+  p.flow = 3;
+  p.seq = seq;
+  p.size_bytes = 1460;
+  p.app_tag = seq;
+  return p;
+}
+
+TEST(PacketPool, AcquireGetTakeRoundTrip) {
+  PacketPool pool;
+  const auto ref = pool.acquire(make_packet(7));
+  EXPECT_TRUE(pool.valid(ref));
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(pool.get(ref).seq, 7);
+  const Packet out = pool.take(ref);
+  EXPECT_EQ(out.seq, 7);
+  EXPECT_EQ(out.size_bytes, 1460);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_FALSE(pool.valid(ref));
+}
+
+TEST(PacketPool, ReleaseInvalidatesRefViaGeneration) {
+  PacketPool pool;
+  const auto ref = pool.acquire(make_packet(1));
+  pool.release(ref);
+  EXPECT_FALSE(pool.valid(ref));
+  // The slot is recycled with a bumped generation: the new ref names the
+  // same arena index but the stale one stays dead.
+  const auto fresh = pool.acquire(make_packet(2));
+  EXPECT_EQ(fresh.index, ref.index);
+  EXPECT_NE(fresh.gen, ref.gen);
+  EXPECT_TRUE(pool.valid(fresh));
+  EXPECT_FALSE(pool.valid(ref));
+  EXPECT_EQ(pool.get(fresh).seq, 2);
+}
+
+TEST(PacketPool, SteadyStateReusesSlotsWithoutGrowingArena) {
+  PacketPool pool;
+  // FIFO-style churn with at most 4 in flight: capacity must stop at the
+  // high-water mark, not track total traffic.
+  std::vector<PacketPool::Ref> live;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    live.push_back(pool.acquire(make_packet(i)));
+    if (live.size() == 4) {
+      EXPECT_EQ(pool.take(live.front()).seq, i - 3);
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.in_use(), 3u);
+  for (const auto& ref : live) pool.release(ref);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(PacketPool, InterleavedRefsStayIndependent) {
+  PacketPool pool;
+  const auto a = pool.acquire(make_packet(10));
+  const auto b = pool.acquire(make_packet(20));
+  const auto c = pool.acquire(make_packet(30));
+  pool.release(b);
+  EXPECT_TRUE(pool.valid(a));
+  EXPECT_FALSE(pool.valid(b));
+  EXPECT_TRUE(pool.valid(c));
+  EXPECT_EQ(pool.get(a).seq, 10);
+  EXPECT_EQ(pool.get(c).seq, 30);
+  // b's slot comes back first (LIFO free list) without disturbing a or c.
+  const auto d = pool.acquire(make_packet(40));
+  EXPECT_EQ(d.index, b.index);
+  EXPECT_EQ(pool.get(a).seq, 10);
+  EXPECT_EQ(pool.get(c).seq, 30);
+  EXPECT_EQ(pool.get(d).seq, 40);
+  EXPECT_EQ(pool.capacity(), 3u);
+}
+
+TEST(PacketPool, OutOfRangeRefIsInvalid) {
+  PacketPool pool;
+  PacketPool::Ref bogus;
+  bogus.index = 42;
+  bogus.gen = 0;
+  EXPECT_FALSE(pool.valid(bogus));
+}
+
+}  // namespace
+}  // namespace dmp
